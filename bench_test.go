@@ -1,0 +1,149 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7). Each benchmark runs the corresponding experiment end to end — build
+// the scheme databases, run the query workload under the Table 2 cost
+// simulation — and logs the reproduced table. Absolute numbers shrink with
+// the configured scale (REPRO_SCALE, default small); the comparisons the
+// paper draws are preserved.
+//
+//	go test -bench=. -benchmem                   # laptop-scale everything
+//	REPRO_SCALE=0.2 go test -bench=Table3 -v     # bigger networks, one table
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/lbs"
+	"repro/internal/scheme/ci"
+	"repro/internal/scheme/pi"
+)
+
+// benchConfig sizes benchmark runs: smaller than cmd/experiments defaults
+// so the full suite stays in the minutes range.
+func benchConfig() exp.Config {
+	cfg := exp.Config{Scale: 0.03, Queries: 15, Seed: 1}
+	if v, err := strconv.ParseFloat(os.Getenv("REPRO_SCALE"), 64); err == nil && v > 0 && v <= 1 {
+		cfg.Scale = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("REPRO_QUERIES")); err == nil && v > 0 {
+		cfg.Queries = v
+	}
+	return cfg
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchConfig())
+		var buf bytes.Buffer
+		if err := r.Run(id, &buf); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkTable1Networks regenerates Table 1 (the evaluated networks).
+func BenchmarkTable1Networks(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig5LMTuning regenerates Figure 5 (LM landmark-count tuning).
+func BenchmarkFig5LMTuning(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable3Components regenerates Table 3 (response-time components
+// of AF, LM, CI, PI on Argentina).
+func BenchmarkTable3Components(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig6OBF regenerates Figure 6 (obfuscation baseline vs CI/PI).
+func BenchmarkFig6OBF(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Networks regenerates Figure 7 (four methods, three networks).
+func BenchmarkFig7Networks(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Packing regenerates Figure 8 (packed partitioning ablation).
+func BenchmarkFig8Packing(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Compression regenerates Figure 9 (compression ablation).
+func BenchmarkFig9Compression(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10HY regenerates Figure 10 (|S_i,j| histogram and HY tuning
+// on Denmark).
+func BenchmarkFig10HY(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11PIStar regenerates Figure 11 (PI* cluster-size tuning).
+func BenchmarkFig11PIStar(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Large regenerates Figure 12 (CI vs tuned HY vs tuned PI*
+// on the three largest networks).
+func BenchmarkFig12Large(b *testing.B) { runExperiment(b, "fig12") }
+
+// --- extension ablations (the paper's §8 future-work directions) ---
+
+// BenchmarkExtensionApproxCI measures the approximate CI variant: plan
+// shrinkage and result quality versus the truncation factor.
+func BenchmarkExtensionApproxCI(b *testing.B) {
+	cfg := benchConfig()
+	g := gen.GeneratePreset(gen.Argentina, cfg.Scale)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		for _, factor := range []float64{1.0, 0.75, 0.5, 0.25} {
+			opt := ci.DefaultOptions()
+			if factor < 1 {
+				opt.ApproxFactor = factor
+			}
+			db, err := ci.Build(g, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := ci.EvaluateApproximation(srv, g, cfg.Queries, cfg.Seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&buf, "factor %.2f: plan Fd pages %d, %s\n",
+				factor, db.Plan.TotalFetches("Fd"), q)
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkExtensionCompactData measures the lossless region-record
+// compression: database size with and without it, for CI and PI.
+func BenchmarkExtensionCompactData(b *testing.B) {
+	cfg := benchConfig()
+	g := gen.GeneratePreset(gen.Argentina, cfg.Scale)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		for _, compact := range []bool{false, true} {
+			ciOpt := ci.DefaultOptions()
+			ciOpt.CompactData = compact
+			cidb, err := ci.Build(g, ciOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			piOpt := pi.DefaultOptions()
+			piOpt.CompactData = compact
+			pidb, err := pi.Build(g, piOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&buf, "compact=%v: CI %d bytes, PI %d bytes\n",
+				compact, cidb.TotalBytes(), pidb.TotalBytes())
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command privsp is the command-line front end of the private shortest path
+// library: generate synthetic road networks, build scheme databases,
+// inspect their files and query plans, and run private queries.
+//
+// Usage:
+//
+//	privsp generate -preset Argentina -scale 0.05
+//	privsp build    -preset Oldenburg -scale 0.1 -scheme CI
+//	privsp plan     -preset Oldenburg -scale 0.1 -scheme HY -threshold 20
+//	privsp query    -preset Oldenburg -scale 0.1 -scheme PI -s 3 -t 99
+//	privsp audit    -preset Oldenburg -scale 0.1 -scheme CI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/privsp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	preset := fs.String("preset", "Oldenburg", "network preset (Oldenburg, Germany, Argentina, Denmark, India, NorthAmerica)")
+	scale := fs.Float64("scale", 0.05, "network scale in (0,1]")
+	seed := fs.Int64("seed", 1, "generator seed")
+	scheme := fs.String("scheme", "CI", "scheme: CI, PI, PI*, HY, LM, AF, OBF")
+	threshold := fs.Int("threshold", 0, "HY threshold")
+	cluster := fs.Int("cluster", 0, "PI* cluster pages")
+	landmarks := fs.Int("landmarks", 0, "LM anchors")
+	regions := fs.Int("regions", 0, "AF regions")
+	setSize := fs.Int("setsize", 0, "OBF |S|=|T|")
+	srcNode := fs.Int("s", 0, "query source node id")
+	dstNode := fs.Int("t", 1, "query destination node id")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	p, ok := presetByName(*preset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "privsp: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	net := privsp.Generate(p, *scale, *seed)
+	cfg := privsp.Config{
+		Scheme:       privsp.Scheme(*scheme),
+		Threshold:    *threshold,
+		ClusterPages: *cluster,
+		Landmarks:    *landmarks,
+		Regions:      *regions,
+		SetSize:      *setSize,
+		Seed:         *seed,
+	}
+
+	switch cmd {
+	case "generate":
+		fmt.Printf("%s at scale %.3f: %d nodes, %d edges\n", *preset, *scale, net.NumNodes(), net.NumEdges())
+	case "build", "plan":
+		db, err := privsp.Build(net, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scheme %s on %s (%d nodes): %.2f MB\n",
+			db.Scheme(), *preset, net.NumNodes(), float64(db.TotalBytes())/(1<<20))
+		if pl := db.Plan(); pl != "" {
+			fmt.Println("query plan:", pl)
+		} else {
+			fmt.Println("query plan: none (obfuscation baseline leaks its access pattern)")
+		}
+	case "audit":
+		// Play the Theorem 1 indistinguishability game against the built
+		// scheme and report the adversary's measured advantage.
+		db, err := privsp.Build(net, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := privsp.Serve(db)
+		if err != nil {
+			fatal(err)
+		}
+		exec := func(q core.Query) (core.View, error) {
+			res, err := srv.ShortestPath(q.S, q.T)
+			if err != nil {
+				return core.View{}, err
+			}
+			return core.View{Transcript: res.Trace}, nil
+		}
+		adv, err := core.MeasureAdvantage(exec,
+			func(i int) privsp.Point { return net.NodePoint(privsp.NodeID(i)) },
+			net.NumNodes(), 8, 4, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scheme %s: adversary advantage %.4f", cfg.Scheme, float64(adv))
+		if adv == 0 {
+			fmt.Println("  (Theorem 1 holds: queries are indistinguishable)")
+		} else {
+			fmt.Println("  (queries are distinguishable — expected only for OBF)")
+		}
+	case "query":
+		db, err := privsp.Build(net, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := privsp.Serve(db)
+		if err != nil {
+			fatal(err)
+		}
+		if *srcNode >= net.NumNodes() || *dstNode >= net.NumNodes() {
+			fatal(fmt.Errorf("node ids must be below %d", net.NumNodes()))
+		}
+		res, err := srv.ShortestPath(net.NodePoint(privsp.NodeID(*srcNode)), net.NodePoint(privsp.NodeID(*dstNode)))
+		if err != nil {
+			fatal(err)
+		}
+		if !res.Found() {
+			fmt.Println("no path")
+			return
+		}
+		fmt.Printf("cost %.4f over %d edges\n", res.Cost, len(res.Path)-1)
+		fmt.Printf("simulated response %.2fs (PIR %.2fs, comm %.2fs, client %.4fs, server %.2fs)\n",
+			res.Stats.Response().Seconds(), res.Stats.PIR.Seconds(), res.Stats.Comm.Seconds(),
+			res.Stats.Client.Seconds(), res.Stats.Server.Seconds())
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func presetByName(name string) (privsp.Preset, bool) {
+	for _, p := range []privsp.Preset{
+		privsp.Oldenburg, privsp.Germany, privsp.Argentina,
+		privsp.Denmark, privsp.India, privsp.NorthAmerica,
+	} {
+		if strings.EqualFold(p.String(), name) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "privsp:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: privsp <generate|build|plan|query|audit> [flags]
+run "privsp <cmd> -h" for flags`)
+}

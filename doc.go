@@ -1,0 +1,10 @@
+// Package repro reproduces Mouratidis & Yiu, "Shortest Path Computation
+// with No Information Leakage" (PVLDB 5(8): 692–703, 2012): PIR-based
+// shortest path schemes on road networks where the location-based service
+// learns nothing about the queries it answers.
+//
+// The public API lives in the privsp subpackage; DESIGN.md documents the
+// architecture and EXPERIMENTS.md the reproduction of the paper's
+// evaluation. The benchmarks in bench_test.go regenerate every table and
+// figure (see also cmd/experiments).
+package repro

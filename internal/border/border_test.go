@@ -1,0 +1,136 @@
+package border
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+)
+
+func buildFixture(t *testing.T) (*graph.Graph, *kdtree.Partition, *Augmented) {
+	t.Helper()
+	g := gen.GeneratePreset(gen.Oldenburg, 0.08)
+	size := func(v graph.NodeID) int { return 24 + 10*g.Degree(v) }
+	part, err := kdtree.BuildPacked(g, size, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, part, Build(g, part)
+}
+
+func TestBordersOnlyOnCrossingEdges(t *testing.T) {
+	g, part, aug := buildFixture(t)
+	crossings := 0
+	g.UndirectedEdges(func(e graph.Edge) bool {
+		if part.RegionOf[e.From] != part.RegionOf[e.To] {
+			crossings++
+		}
+		return true
+	})
+	if len(aug.Borders) != crossings {
+		t.Errorf("%d borders for %d crossing edges", len(aug.Borders), crossings)
+	}
+	if aug.NumOrig != g.NumNodes() {
+		t.Errorf("NumOrig = %d, want %d", aug.NumOrig, g.NumNodes())
+	}
+	if aug.G.NumNodes() != g.NumNodes()+len(aug.Borders) {
+		t.Errorf("augmented has %d nodes, want %d", aug.G.NumNodes(), g.NumNodes()+len(aug.Borders))
+	}
+}
+
+func TestIsBorderAndBorderAt(t *testing.T) {
+	g, _, aug := buildFixture(t)
+	for v := 0; v < g.NumNodes(); v++ {
+		if aug.IsBorder(graph.NodeID(v)) {
+			t.Fatalf("original node %d flagged as border", v)
+		}
+	}
+	for i, b := range aug.Borders {
+		if !aug.IsBorder(b.ID) {
+			t.Fatalf("border %d not flagged", i)
+		}
+		if aug.BorderAt(b.ID).ID != b.ID {
+			t.Fatalf("BorderAt mismatch for border %d", i)
+		}
+	}
+}
+
+func TestByRegionIndexesConsistent(t *testing.T) {
+	_, part, aug := buildFixture(t)
+	for r := 0; r < part.NumRegions; r++ {
+		for _, bi := range aug.ByRegion[r] {
+			b := aug.Borders[bi]
+			if b.Regions[0] != kdtree.RegionID(r) && b.Regions[1] != kdtree.RegionID(r) {
+				t.Fatalf("region %d lists border %d with regions %v", r, bi, b.Regions)
+			}
+		}
+	}
+}
+
+func TestOrigEdgeMapsSubdividedArcs(t *testing.T) {
+	g, _, aug := buildFixture(t)
+	for _, b := range aug.Borders {
+		e := aug.OrigEdge(b.OrigFrom, b.ID)
+		if e.From != b.OrigFrom || e.To != b.OrigTo {
+			t.Fatalf("OrigEdge(%d,%d) = %v", b.OrigFrom, b.ID, e)
+		}
+		if w, ok := g.EdgeWeight(e.From, e.To); !ok || math.Abs(w-e.W) > 1e-12 {
+			t.Fatalf("orig edge weight %v vs graph %v", e.W, w)
+		}
+		rev := aug.OrigEdge(b.ID, b.OrigFrom)
+		if rev.From != b.OrigTo || rev.To != b.OrigFrom {
+			t.Fatalf("reverse OrigEdge = %v", rev)
+		}
+	}
+}
+
+func TestRegionsOfNode(t *testing.T) {
+	g, part, aug := buildFixture(t)
+	rs := aug.RegionsOfNode(0, part)
+	if len(rs) != 1 || rs[0] != part.RegionOf[0] {
+		t.Errorf("RegionsOfNode(original) = %v", rs)
+	}
+	if len(aug.Borders) > 0 {
+		b := aug.Borders[0]
+		rs := aug.RegionsOfNode(b.ID, part)
+		if len(rs) != 2 {
+			t.Errorf("RegionsOfNode(border) = %v", rs)
+		}
+	}
+	_ = g
+}
+
+func TestBorderPointLiesOnSegment(t *testing.T) {
+	g, _, aug := buildFixture(t)
+	for _, b := range aug.Borders {
+		p := aug.G.Point(b.ID)
+		pu, pv := g.Point(b.OrigFrom), g.Point(b.OrigTo)
+		// Collinearity + betweenness up to float tolerance.
+		d := pu.Dist(p) + p.Dist(pv) - pu.Dist(pv)
+		if math.Abs(d) > 1e-9 {
+			t.Fatalf("border %d point %v off segment %v-%v (excess %v)", b.ID, p, pu, pv, d)
+		}
+	}
+}
+
+func TestSingleRegionNoBorders(t *testing.T) {
+	g := graph.NewUndirected()
+	a := g.AddNode(geom.Point{X: 0, Y: 0})
+	b := g.AddNode(geom.Point{X: 1, Y: 1})
+	g.MustAddEdge(a, b, 1)
+	size := func(graph.NodeID) int { return 10 }
+	part, err := kdtree.BuildPacked(g, size, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := Build(g, part)
+	if len(aug.Borders) != 0 {
+		t.Errorf("single region produced %d borders", len(aug.Borders))
+	}
+	if aug.G.NumEdges() != g.NumEdges() {
+		t.Error("graph changed without borders")
+	}
+}

@@ -1,0 +1,107 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	p := Default()
+	if p.PageSize != 4096 {
+		t.Errorf("PageSize = %d", p.PageSize)
+	}
+	if p.DiskSeek != 11*time.Millisecond {
+		t.Errorf("DiskSeek = %v", p.DiskSeek)
+	}
+	if p.DiskRate != 125<<20 {
+		t.Errorf("DiskRate = %v", p.DiskRate)
+	}
+	if p.SCPRate != 80<<20 {
+		t.Errorf("SCPRate = %v", p.SCPRate)
+	}
+	if p.CryptRate != 10<<20 {
+		t.Errorf("CryptRate = %v", p.CryptRate)
+	}
+	if p.Bandwidth != 48<<10 {
+		t.Errorf("Bandwidth = %v", p.Bandwidth)
+	}
+	if p.RTT != 700*time.Millisecond {
+		t.Errorf("RTT = %v", p.RTT)
+	}
+}
+
+func TestPIRFetchCalibration(t *testing.T) {
+	// §3.2: "a real implementation on IBM 4764 takes around one second to
+	// retrieve a page from a Gigabyte file".
+	p := Default()
+	gb := (1 << 30) / p.PageSize
+	got := p.PIRFetch(gb).Seconds()
+	if got < 0.8 || got > 1.25 {
+		t.Errorf("PIRFetch(1GB file) = %.3fs, want ≈ 1s", got)
+	}
+}
+
+func TestPIRFetchMonotoneInFileSize(t *testing.T) {
+	p := Default()
+	prev := time.Duration(0)
+	for _, n := range []int{2, 16, 256, 4096, 65536, 262144} {
+		d := p.PIRFetch(n)
+		if d <= prev {
+			t.Errorf("PIRFetch(%d) = %v not increasing (prev %v)", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPIRFetchMuchSlowerThanPlainRead(t *testing.T) {
+	// §3.2: PIR cost is "several times larger than a plain disk read".
+	p := Default()
+	pir := p.PIRFetch(100000)
+	plain := p.PlainRead(1)
+	if pir < 5*plain {
+		t.Errorf("PIR %v vs plain %v: expected PIR to be several times slower", pir, plain)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	p := Default()
+	// One 4 KB page over 48 KB/s ≈ 83 ms.
+	got := p.Transfer(4096)
+	if got < 80*time.Millisecond || got > 90*time.Millisecond {
+		t.Errorf("Transfer(4096) = %v, want ≈ 83ms", got)
+	}
+	if p.Transfer(0) != 0 || p.Transfer(-5) != 0 {
+		t.Error("Transfer of nothing should be 0")
+	}
+}
+
+func TestMaxFileBytesAboutTwoPointFiveGB(t *testing.T) {
+	// §7.1: the IBM 4764 with 32 MB RAM supports files up to 2.5 GB.
+	p := Default()
+	max := p.MaxFileBytes()
+	if max < 2_300_000_000 || max > 2_900_000_000 {
+		t.Errorf("MaxFileBytes = %d, want ≈ 2.5e9", max)
+	}
+	if !p.SupportsFile(1 << 30) {
+		t.Error("1 GB file should be supported")
+	}
+	if p.SupportsFile(10 << 30) {
+		t.Error("10 GB file should not be supported")
+	}
+}
+
+func TestPlainRead(t *testing.T) {
+	p := Default()
+	if p.PlainRead(0) != 0 {
+		t.Error("PlainRead(0) != 0")
+	}
+	one := p.PlainRead(1)
+	hundred := p.PlainRead(100)
+	if hundred <= one {
+		t.Error("PlainRead not monotone")
+	}
+	// 100 pages sequential should not cost 100 seeks.
+	if hundred > 100*one {
+		t.Error("PlainRead scales worse than per-page seeks")
+	}
+}

@@ -1,0 +1,155 @@
+// Package exp is the evaluation harness of §7: it regenerates every table
+// and figure of the paper's experimental study — Table 3 and Figures 5–12 —
+// on the synthetic counterparts of the Table 1 road networks.
+//
+// Costs come from the same recipe as the paper: PIR and communication times
+// from the Table 2 simulation, client/server computation measured wall-clock.
+// Absolute numbers therefore depend on the machine and on the configured
+// network scale, but the comparisons the paper draws (who wins, by what
+// factor, where the space/time trade-offs cross) are preserved.
+//
+// Scale and workload size default to laptop-friendly values and can be
+// raised via the REPRO_SCALE and REPRO_QUERIES environment variables
+// (REPRO_SCALE=1.0 reproduces the full Table 1 sizes).
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+	"repro/internal/scheme/base"
+)
+
+// Config controls experiment size.
+type Config struct {
+	// Scale shrinks every Table 1 network (1.0 = paper size).
+	Scale float64
+	// Queries per workload (the paper uses 1,000).
+	Queries int
+	// Seed drives workload generation and every randomized build step.
+	Seed int64
+	// Verify cross-checks every query result against plain Dijkstra.
+	Verify bool
+}
+
+// DefaultConfig reads REPRO_SCALE / REPRO_QUERIES / REPRO_VERIFY from the
+// environment, with defaults sized for a minutes-long full run.
+func DefaultConfig() Config {
+	cfg := Config{Scale: 0.05, Queries: 40, Seed: 1}
+	if v, err := strconv.ParseFloat(os.Getenv("REPRO_SCALE"), 64); err == nil && v > 0 && v <= 1 {
+		cfg.Scale = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("REPRO_QUERIES")); err == nil && v > 0 {
+		cfg.Queries = v
+	}
+	if os.Getenv("REPRO_VERIFY") == "1" {
+		cfg.Verify = true
+	}
+	return cfg
+}
+
+// Runner caches generated networks across experiments.
+type Runner struct {
+	Cfg   Config
+	Model costmodel.Params
+	nets  map[gen.Preset]*graph.Graph
+}
+
+// NewRunner prepares a runner with the Table 2 cost model.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg, Model: costmodel.Default(), nets: map[gen.Preset]*graph.Graph{}}
+}
+
+// Network returns the (cached) synthetic network for a preset.
+func (r *Runner) Network(p gen.Preset) *graph.Graph {
+	if g, ok := r.nets[p]; ok {
+		return g
+	}
+	g := gen.GeneratePreset(p, r.Cfg.Scale)
+	r.nets[p] = g
+	return g
+}
+
+// QueryFunc runs one shortest path query for whatever scheme is under test.
+type QueryFunc func(s, t geom.Point) (*base.Result, error)
+
+// Agg aggregates a workload's measurements (averages per query).
+type Agg struct {
+	Queries   int
+	Response  time.Duration
+	PIR       time.Duration
+	Comm      time.Duration
+	Client    time.Duration
+	Server    time.Duration
+	FetchesFd float64 // region-data PIR accesses (Fd, or Fc for HY)
+	FetchesFi float64 // network-index PIR accesses
+	Failures  int
+}
+
+// RunWorkload executes cfg.Queries uniform random s–t queries (the §7.1
+// workload) and averages the Table 3 cost components. The query pair
+// sequence is deterministic in cfg.Seed, so every scheme sees the same
+// workload. With cfg.Verify, results are checked against plain Dijkstra.
+func (r *Runner) RunWorkload(g *graph.Graph, q QueryFunc) (Agg, error) {
+	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	var agg Agg
+	var totR, totP, totC, totCl, totSv time.Duration
+	var fd, fi float64
+	for i := 0; i < r.Cfg.Queries; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		t := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := q(g.Point(s), g.Point(t))
+		if err != nil {
+			return agg, fmt.Errorf("query %d (s=%d t=%d): %w", i, s, t, err)
+		}
+		if r.Cfg.Verify {
+			want := graph.ShortestPath(g, s, t)
+			if diff := res.Cost - want.Cost; diff > 1e-9 || diff < -1e-9 {
+				return agg, fmt.Errorf("query %d: cost %v, Dijkstra %v", i, res.Cost, want.Cost)
+			}
+		}
+		st := res.Stats
+		totR += st.Response()
+		totP += st.PIR
+		totC += st.Comm
+		totCl += st.Client
+		totSv += st.Server
+		fd += float64(st.Fetches[base.FileData] + st.Fetches[base.FileCombined])
+		fi += float64(st.Fetches[base.FileIndex] + st.Fetches[base.FileLookup])
+		agg.Queries++
+	}
+	n := time.Duration(agg.Queries)
+	if n == 0 {
+		return agg, fmt.Errorf("empty workload")
+	}
+	agg.Response = totR / n
+	agg.PIR = totP / n
+	agg.Comm = totC / n
+	agg.Client = totCl / n
+	agg.Server = totSv / n
+	agg.FetchesFd = fd / float64(agg.Queries)
+	agg.FetchesFi = fi / float64(agg.Queries)
+	return agg, nil
+}
+
+// Servable pairs a database with its query function.
+type Servable struct {
+	Name  string
+	Bytes int64
+	Query QueryFunc
+	DB    *lbs.Database // nil for OBF
+}
+
+// MB renders bytes as the paper's MByte axis values.
+func MB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+
+// Secs renders a duration as seconds, the paper's response-time axis.
+func Secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// tinyConfig keeps unit tests fast; the real runs use DefaultConfig (env
+// tunable) via cmd/experiments and the benchmarks.
+func tinyConfig() Config {
+	return Config{Scale: 0.02, Queries: 6, Seed: 1, Verify: true}
+}
+
+func TestTable1(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "Arg.") {
+		t.Error("rendered table lacks Argentina")
+	}
+}
+
+func TestTable3VerifiedWorkload(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tab, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table 3 has %d rows, want 4 (AF, LM, CI, PI)", len(tab.Rows))
+	}
+	// Shape check: CI must respond faster than both baselines, PI fastest.
+	resp := map[string]string{}
+	for _, row := range tab.Rows {
+		resp[row[0]] = row[1]
+	}
+	for _, m := range []string{"AF", "LM", "CI", "PI"} {
+		if resp[m] == "" {
+			t.Fatalf("missing method %s", m)
+		}
+	}
+}
+
+func TestFig10Histogram(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tables, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Fig10 yields %d tables, want 2", len(tables))
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Error("empty histogram")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	if err := r.Run("fig99", &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	r1 := NewRunner(cfg)
+	r2 := NewRunner(cfg)
+	g1 := r1.Network(gen.Oldenburg)
+	g2 := r2.Network(gen.Oldenburg)
+	sv1, err := r1.BuildCI(g1, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2, err := r2.BuildCI(g2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := r1.RunWorkload(g1, sv1.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r2.RunWorkload(g2, sv2.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated components are fully deterministic (client time is not).
+	if a1.PIR != a2.PIR || a1.Comm != a2.Comm || a1.FetchesFd != a2.FetchesFd {
+		t.Errorf("workload not deterministic: %+v vs %+v", a1, a2)
+	}
+}
+
+func TestScaledSizeLimit(t *testing.T) {
+	r := NewRunner(Config{Scale: 1.0, Queries: 1, Seed: 1})
+	full := r.ScaledSizeLimit()
+	if full < 2_300_000_000 || full > 2_900_000_000 {
+		t.Errorf("full-scale limit = %d, want ≈ 2.5 GB", full)
+	}
+	r2 := NewRunner(Config{Scale: 0.1, Queries: 1, Seed: 1})
+	if r2.ScaledSizeLimit() >= full/50 {
+		t.Error("scaled limit should shrink quadratically")
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 {
+		t.Fatalf("IDs() = %v", ids)
+	}
+}
+
+func TestExtensionsExperiment(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tables, err := r.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Extensions yields %d tables, want 2", len(tables))
+	}
+	if len(tables[0].Rows) != 4 || len(tables[1].Rows) != 2 {
+		t.Fatalf("unexpected row counts: %d, %d", len(tables[0].Rows), len(tables[1].Rows))
+	}
+	// Exact CI (factor 1.00) must report zero deviation.
+	if tables[0].Rows[0][4] != "1.0000x" {
+		t.Errorf("exact CI mean deviation = %s", tables[0].Rows[0][4])
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow at any scale")
+	}
+	r := NewRunner(tinyConfig())
+	tab, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 cluster sizes + the CI reference row.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Fig11 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow at any scale")
+	}
+	r := NewRunner(tinyConfig())
+	tab, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 OBF points + 2 references.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Fig6 rows = %d", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("fig6 should render a bar chart")
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow at any scale")
+	}
+	r := NewRunner(tinyConfig())
+	tab, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 3 networks x 3 methods
+		t.Fatalf("Fig12 rows = %d", len(tab.Rows))
+	}
+}

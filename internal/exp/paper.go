@@ -1,0 +1,34 @@
+package exp
+
+// PaperTable3 holds the values the paper reports in Table 3 (Argentina,
+// full scale, IBM 4764): response/PIR/communication/client seconds, the
+// "x of y" PIR page accesses for the region-data and network-index files,
+// and total storage in MB. EXPERIMENTS.md compares these against measured
+// values; the harness prints them alongside its own numbers.
+var PaperTable3 = map[string]struct {
+	Response, PIR, Comm, Client float64
+	FdAcc, FdPages              int
+	FiAcc, FiPages              int
+	SpaceMB                     float64
+}{
+	"AF": {324.18, 272.56, 51.47, 0.12, 595, 820, 0, 0, 3.28},
+	"LM": {311.93, 265.38, 46.43, 0.02, 536, 1096, 0, 0, 4.38},
+	"CI": {105.45, 88.09, 17.34, 0.02, 193, 775, 2, 1327, 8.40},
+	"PI": {58.17, 54.21, 3.94, 0.01, 2, 775, 36, 274788, 1102},
+}
+
+// PaperFindings summarizes the qualitative claims each experiment must
+// reproduce; the harness prints the relevant one under each table so a
+// reader can check the shape at a glance.
+var PaperFindings = map[string]string{
+	"table1": "six sparse road networks, 6.1K to 175.8K nodes, edge/node ratio 1.02-1.16",
+	"fig5":   "LM is fastest around 5 anchors: fewer anchors fetch too many pages, more anchors bloat Fd and slow PIR",
+	"table3": "CI answers ~3x faster than AF/LM; PI another ~2x faster than CI but with a database two orders of magnitude larger",
+	"fig6":   "OBF's response grows with |S|; for |S|,|T| in the tens it is slower than CI and PI while leaking the candidate sets",
+	"fig7":   "PI fastest and CI second on every network; baselines read over half the database per query",
+	"fig8":   "packed partitioning achieves >95% Fd utilization vs as low as ~51% for plain KD-trees, shrinking CI response markedly; PI response barely moves",
+	"fig9":   "compression shrinks storage significantly (PI-C even exceeds the PIR size limit on Argentina); it speeds up PI but not CI",
+	"fig10":  "most |S_i,j| are far below the maximum m, so replacing the few largest sets (HY) buys large response-time cuts for modest space",
+	"fig11":  "larger PI* clusters shrink the index but raise response time; best is the smallest cluster whose index fits the limit",
+	"fig12":  "on the largest networks (where PI is infeasible) PI* is fastest, HY second, both beating CI",
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced table or figure, rendered as aligned text.
+type Table struct {
+	ID     string // e.g. "table3", "fig10a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// BarColumn, when >= 1, renders that column as an ASCII bar chart under
+	// the table (histograms and single-series figures).
+	BarColumn int
+	BarUnit   string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in aligned-column form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.BarColumn >= 1 {
+		labels := make([]string, 0, len(t.Rows))
+		values := make([]float64, 0, len(t.Rows))
+		for _, row := range t.Rows {
+			if t.BarColumn < len(row) {
+				var v float64
+				if _, err := fmt.Sscanf(row[t.BarColumn], "%f", &v); err == nil {
+					labels = append(labels, row[0])
+					values = append(values, v)
+				}
+			}
+		}
+		Chart(w, t.Header[t.BarColumn], t.BarUnit, labels, values)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Chart renders a crude ASCII line/bar chart for the figure reproductions:
+// one labelled horizontal bar per (x, value) pair, log-friendly enough to
+// eyeball trends.
+func Chart(w io.Writer, title, unit string, labels []string, values []float64) {
+	fmt.Fprintf(w, "  %s (%s)\n", title, unit)
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for i, v := range values {
+		bars := int(v / max * 50)
+		if bars < 1 && v > 0 {
+			bars = 1
+		}
+		fmt.Fprintf(w, "   %s |%s %.2f\n", pad(labels[i], lw), strings.Repeat("#", bars), v)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,229 @@
+// Package graph implements the weighted road-network model of §3.1 and the
+// shortest-path machinery every scheme in the paper builds on: Dijkstra's
+// algorithm, A* search, and ALT (A* with landmark lower bounds).
+//
+// A road network is a weighted graph G = (V, E). Nodes carry Euclidean
+// coordinates; every edge has a positive weight modelling traversal cost.
+// Graphs may be directed or undirected; undirected graphs store each edge in
+// both adjacency lists but report it once through Edges.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node. IDs are dense: valid IDs are 0..NumNodes()-1.
+type NodeID int32
+
+// Invalid is the sentinel for "no node" (e.g. absent parent pointers).
+const Invalid NodeID = -1
+
+// HalfEdge is one directed adjacency entry: an edge from an implicit source
+// node to To with weight W.
+type HalfEdge struct {
+	To NodeID
+	W  float64
+}
+
+// Edge is a fully specified directed edge.
+type Edge struct {
+	From, To NodeID
+	W        float64
+}
+
+// Graph is an in-memory weighted graph with Euclidean node coordinates.
+// The zero value is an empty directed graph; use New or NewUndirected.
+type Graph struct {
+	pts      []geom.Point
+	adj      [][]HalfEdge
+	directed bool
+	numEdges int // directed arc count
+}
+
+// New returns an empty directed graph.
+func New() *Graph { return &Graph{directed: true} }
+
+// NewUndirected returns an empty undirected graph. AddEdge inserts both
+// directions.
+func NewUndirected() *Graph { return &Graph{directed: false} }
+
+// Directed reports whether g is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.pts) }
+
+// NumEdges returns |E|: directed arcs for directed graphs, undirected edges
+// for undirected graphs.
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return g.numEdges
+	}
+	return g.numEdges / 2
+}
+
+// AddNode appends a node at p and returns its ID.
+func (g *Graph) AddNode(p geom.Point) NodeID {
+	g.pts = append(g.pts, p)
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.pts) - 1)
+}
+
+// Point returns the coordinates of v.
+func (g *Graph) Point(v NodeID) geom.Point { return g.pts[v] }
+
+// SetPoint overwrites the coordinates of v. Used by generators that jitter
+// coordinates after construction.
+func (g *Graph) SetPoint(v NodeID, p geom.Point) { g.pts[v] = p }
+
+// AddEdge inserts an edge u→v with weight w (> 0). For undirected graphs the
+// reverse arc is inserted too. Self loops are rejected.
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop at node %d", u)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: edge %d->%d has non-positive weight %v", u, v, w)
+	}
+	if int(u) >= len(g.pts) || int(v) >= len(g.pts) || u < 0 || v < 0 {
+		return fmt.Errorf("graph: edge %d->%d references missing node", u, v)
+	}
+	g.adj[u] = append(g.adj[u], HalfEdge{To: v, W: w})
+	g.numEdges++
+	if !g.directed {
+		g.adj[v] = append(g.adj[v], HalfEdge{To: u, W: w})
+		g.numEdges++
+	}
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; for generators and tests whose
+// inputs are valid by construction.
+func (g *Graph) MustAddEdge(u, v NodeID, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// Adj returns the adjacency list of u. The caller must not mutate it.
+func (g *Graph) Adj(u NodeID) []HalfEdge { return g.adj[u] }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// EdgeWeight returns the weight of arc u→v and whether it exists. If
+// parallel arcs exist, the smallest weight is returned.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	best, ok := 0.0, false
+	for _, he := range g.adj[u] {
+		if he.To == v && (!ok || he.W < best) {
+			best, ok = he.W, true
+		}
+	}
+	return best, ok
+}
+
+// Edges calls fn for every directed arc (both directions of an undirected
+// edge). Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if !fn(Edge{From: NodeID(u), To: he.To, W: he.W}) {
+				return
+			}
+		}
+	}
+}
+
+// UndirectedEdges calls fn once per undirected edge (u < v) of an undirected
+// graph. It panics on directed graphs.
+func (g *Graph) UndirectedEdges(fn func(Edge) bool) {
+	if g.directed {
+		panic("graph: UndirectedEdges on directed graph")
+	}
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			if NodeID(u) < he.To {
+				if !fn(Edge{From: NodeID(u), To: he.To, W: he.W}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Reverse returns the graph with every arc reversed. For undirected graphs it
+// returns a copy. Node coordinates are shared semantics (copied values).
+func (g *Graph) Reverse() *Graph {
+	r := &Graph{directed: g.directed}
+	r.pts = append([]geom.Point(nil), g.pts...)
+	r.adj = make([][]HalfEdge, len(g.adj))
+	for u := range g.adj {
+		for _, he := range g.adj[u] {
+			r.adj[he.To] = append(r.adj[he.To], HalfEdge{To: NodeID(u), W: he.W})
+		}
+	}
+	r.numEdges = g.numEdges
+	return r
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{directed: g.directed, numEdges: g.numEdges}
+	c.pts = append([]geom.Point(nil), g.pts...)
+	c.adj = make([][]HalfEdge, len(g.adj))
+	for u := range g.adj {
+		c.adj[u] = append([]HalfEdge(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Directize converts an undirected graph into a directed one: every
+// undirected edge {u, v} becomes two arcs whose weights are skewed by the
+// given factor (w·(1+skew) one way, w·(1-skew) the other, direction chosen
+// by node order). skew = 0 yields a symmetric directed graph. The paper's
+// schemes support directed networks (§3.1); tests use this to exercise that
+// generality on the undirected synthetic networks.
+func Directize(g *Graph, skew float64) *Graph {
+	if g.Directed() {
+		return g.Clone()
+	}
+	d := New()
+	for i := 0; i < g.NumNodes(); i++ {
+		d.AddNode(g.Point(NodeID(i)))
+	}
+	g.UndirectedEdges(func(e Edge) bool {
+		d.MustAddEdge(e.From, e.To, e.W*(1+skew))
+		d.MustAddEdge(e.To, e.From, e.W*(1-skew))
+		return true
+	})
+	return d
+}
+
+// NearestNode returns the node closest to p in Euclidean distance, or
+// Invalid for an empty graph. Linear scan; used for snapping arbitrary query
+// coordinates onto the network.
+func (g *Graph) NearestNode(p geom.Point) NodeID {
+	best, bestD := Invalid, math.Inf(1)
+	for i, q := range g.pts {
+		if d := p.Dist(q); d < bestD {
+			best, bestD = NodeID(i), d
+		}
+	}
+	return best
+}
+
+// NearestNodeAmong returns the node of ids closest to p, or Invalid if ids is
+// empty.
+func (g *Graph) NearestNodeAmong(p geom.Point, ids []NodeID) NodeID {
+	best, bestD := Invalid, math.Inf(1)
+	for _, id := range ids {
+		if d := p.Dist(g.pts[id]); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}

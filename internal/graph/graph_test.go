@@ -1,0 +1,440 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func line(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode(geom.Point{X: float64(i)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(a, b, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := g.AddEdge(a, b, -2); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.AddEdge(a, b, math.NaN()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if err := g.AddEdge(a, 99, 1); err == nil {
+		t.Error("missing node accepted")
+	}
+	if err := g.AddEdge(a, b, 3); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestUndirectedEdgeCounting(t *testing.T) {
+	g := line(t, 5)
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	count := 0
+	g.UndirectedEdges(func(Edge) bool { count++; return true })
+	if count != 4 {
+		t.Errorf("UndirectedEdges visited %d, want 4", count)
+	}
+	arcs := 0
+	g.Edges(func(Edge) bool { arcs++; return true })
+	if arcs != 8 {
+		t.Errorf("Edges visited %d arcs, want 8", arcs)
+	}
+}
+
+func TestEdgeWeightParallelArcs(t *testing.T) {
+	g := New()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(a, b, 3)
+	w, ok := g.EdgeWeight(a, b)
+	if !ok || w != 3 {
+		t.Errorf("EdgeWeight = %v,%v, want 3,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(b, a); ok {
+		t.Error("reverse arc should not exist in directed graph")
+	}
+}
+
+func TestDijkstraOnLine(t *testing.T) {
+	g := line(t, 10)
+	tr := Dijkstra(g, 0)
+	for v := 0; v < 10; v++ {
+		if tr.Dist[v] != float64(v) {
+			t.Errorf("Dist[%d] = %v, want %d", v, tr.Dist[v], v)
+		}
+	}
+	p := tr.PathTo(9)
+	if !p.Found() || p.Cost != 9 || len(p.Nodes) != 10 {
+		t.Errorf("PathTo(9) = %+v", p)
+	}
+	if p.NumEdges() != 9 {
+		t.Errorf("NumEdges = %d, want 9", p.NumEdges())
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	c := g.AddNode(geom.Point{X: 2})
+	g.MustAddEdge(a, b, 1)
+	tr := Dijkstra(g, a)
+	if !math.IsInf(tr.Dist[c], 1) {
+		t.Errorf("Dist[c] = %v, want +Inf", tr.Dist[c])
+	}
+	if tr.PathTo(c).Found() {
+		t.Error("path to unreachable node reported found")
+	}
+}
+
+func TestDijkstraDirectedAsymmetry(t *testing.T) {
+	g := New()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	c := g.AddNode(geom.Point{X: 2})
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	g.MustAddEdge(c, a, 10)
+	if d := Dijkstra(g, a).Dist[c]; d != 2 {
+		t.Errorf("a->c = %v, want 2", d)
+	}
+	if d := Dijkstra(g, c).Dist[b]; d != 11 {
+		t.Errorf("c->b = %v, want 11", d)
+	}
+}
+
+// randomGraph builds a connected random undirected graph with n nodes.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	// Spanning chain keeps it connected, then random extra edges.
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(NodeID(rng.Intn(i)), NodeID(i), 0.01+rng.Float64())
+	}
+	extra := n
+	for i := 0; i < extra; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			g.MustAddEdge(u, v, 0.01+rng.Float64())
+		}
+	}
+	return g
+}
+
+func TestDijkstraMatchesBellmanFordProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n)
+		src := NodeID(rng.Intn(n))
+		want := BellmanFord(g, src)
+		got := Dijkstra(g, src)
+		for v := 0; v < n; v++ {
+			if math.Abs(want[v]-got.Dist[v]) > 1e-9 {
+				t.Logf("seed %d: node %d: dijkstra %v bellman-ford %v", seed, v, got.Dist[v], want[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDijkstraPathIsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n)
+		src, dst := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		p := ShortestPath(g, src, dst)
+		if !p.Found() {
+			return false // connected by construction
+		}
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			return false
+		}
+		return math.Abs(PathCost(g, p.Nodes)-p.Cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAStarMatchesDijkstraWithEuclideanHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraphEuclidean(rng, 60)
+	for trial := 0; trial < 30; trial++ {
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		want := ShortestPath(g, src, dst)
+		h := func(v NodeID) float64 { return g.Point(v).Dist(g.Point(dst)) }
+		got, _ := AStar(g, src, dst, h)
+		if math.Abs(want.Cost-got.Cost) > 1e-9 {
+			t.Fatalf("src=%d dst=%d: A* %v, Dijkstra %v", src, dst, got.Cost, want.Cost)
+		}
+	}
+}
+
+// randomGraphEuclidean uses Euclidean lengths as weights so that the
+// straight-line heuristic is admissible.
+func randomGraphEuclidean(rng *rand.Rand, n int) *Graph {
+	g := NewUndirected()
+	for i := 0; i < n; i++ {
+		g.AddNode(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	for i := 1; i < n; i++ {
+		j := NodeID(rng.Intn(i))
+		g.MustAddEdge(j, NodeID(i), g.Point(j).Dist(g.Point(NodeID(i)))+1e-9)
+	}
+	for i := 0; i < n; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			if _, ok := g.EdgeWeight(u, v); !ok {
+				g.MustAddEdge(u, v, g.Point(u).Dist(g.Point(v))+1e-9)
+			}
+		}
+	}
+	return g
+}
+
+func TestAStarExpandsFewerNodesThanDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraphEuclidean(rng, 400)
+	src, dst := NodeID(0), NodeID(399)
+	_, expandedDij := AStar(g, src, dst, nil)
+	h := func(v NodeID) float64 { return g.Point(v).Dist(g.Point(dst)) }
+	_, expandedAStar := AStar(g, src, dst, h)
+	if expandedAStar > expandedDij {
+		t.Errorf("A* expanded %d nodes, plain Dijkstra %d", expandedAStar, expandedDij)
+	}
+}
+
+func TestAStarVisitAbort(t *testing.T) {
+	g := line(t, 10)
+	p, _ := AStarVisit(g, 0, 9, nil, func(v NodeID) bool { return v < 5 })
+	if p.Found() {
+		t.Error("aborted search returned a path")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	g.MustAddEdge(a, b, 2)
+	r := g.Reverse()
+	if _, ok := r.EdgeWeight(a, b); ok {
+		t.Error("reverse still has forward arc")
+	}
+	if w, ok := r.EdgeWeight(b, a); !ok || w != 2 {
+		t.Errorf("reverse arc = %v,%v", w, ok)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := NewUndirected()
+	for i := 0; i < 7; i++ {
+		g.AddNode(geom.Point{X: float64(i)})
+	}
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(5, 6, 1)
+	comp := LargestComponent(g)
+	if len(comp) != 3 {
+		t.Errorf("largest component size %d, want 3", len(comp))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := line(t, 6)
+	sub, oldToNew, newToOld := InducedSubgraph(g, []NodeID{1, 2, 3, 5})
+	if sub.NumNodes() != 4 {
+		t.Fatalf("sub nodes = %d", sub.NumNodes())
+	}
+	if sub.NumEdges() != 2 { // 1-2, 2-3 survive; 3-4,4-5 drop
+		t.Errorf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	if newToOld[oldToNew[3]] != 3 {
+		t.Error("mapping round trip failed")
+	}
+	d := Dijkstra(sub, oldToNew[1]).Dist[oldToNew[3]]
+	if d != 2 {
+		t.Errorf("sub dist = %v, want 2", d)
+	}
+}
+
+func TestLandmarkHeuristicAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraphEuclidean(rng, 120)
+	anchors := SelectLandmarks(g, 4)
+	if len(anchors) != 4 {
+		t.Fatalf("got %d anchors", len(anchors))
+	}
+	lm := BuildLandmarks(g, anchors)
+	for trial := 0; trial < 20; trial++ {
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		h := lm.Heuristic(dst)
+		tr := Dijkstra(g.Reverse(), dst) // true distance v->dst
+		for v := 0; v < g.NumNodes(); v++ {
+			if hv := h(NodeID(v)); hv > tr.Dist[v]+1e-9 {
+				t.Fatalf("heuristic inadmissible: h(%d)=%v > d=%v", v, hv, tr.Dist[v])
+			}
+		}
+	}
+}
+
+func TestLandmarkALTMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraphEuclidean(rng, 150)
+	lm := BuildLandmarks(g, SelectLandmarks(g, 5))
+	for trial := 0; trial < 25; trial++ {
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		want := ShortestPath(g, src, dst)
+		got, _ := AStar(g, src, dst, lm.Heuristic(dst))
+		if math.Abs(want.Cost-got.Cost) > 1e-9 {
+			t.Fatalf("ALT cost %v, Dijkstra %v", got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestSelectLandmarksSpread(t *testing.T) {
+	g := line(t, 100)
+	anchors := SelectLandmarks(g, 2)
+	// On a line the two farthest-point anchors must be the endpoints.
+	if !(anchors[0] == 99 && anchors[1] == 0) && !(anchors[0] == 0 && anchors[1] == 99) {
+		t.Errorf("anchors = %v, want the two endpoints", anchors)
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g := line(t, 5)
+	if v := g.NearestNode(geom.Point{X: 2.4}); v != 2 {
+		t.Errorf("NearestNode = %d, want 2", v)
+	}
+	if v := g.NearestNodeAmong(geom.Point{X: 2.4}, []NodeID{0, 4}); v != 4 {
+		t.Errorf("NearestNodeAmong = %d, want 4", v)
+	}
+	if v := g.NearestNodeAmong(geom.Point{}, nil); v != Invalid {
+		t.Errorf("NearestNodeAmong(empty) = %d, want Invalid", v)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := line(t, 10)
+	if e := Eccentricity(g, 0); e != 9 {
+		t.Errorf("Eccentricity = %v, want 9", e)
+	}
+	if e := Eccentricity(g, 5); e != 5 {
+		t.Errorf("Eccentricity = %v, want 5", e)
+	}
+}
+
+func TestDijkstraFiltered(t *testing.T) {
+	g := NewUndirected()
+	for i := 0; i < 4; i++ {
+		g.AddNode(geom.Point{X: float64(i)})
+	}
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 5)
+	// Forbid the cheap middle edge; the detour must be taken.
+	tr := DijkstraFiltered(g, 0, 3, func(e Edge) bool {
+		return !(e.From == 1 && e.To == 3 || e.From == 3 && e.To == 1)
+	})
+	if tr.Dist[3] != 6 {
+		t.Errorf("filtered dist = %v, want 6", tr.Dist[3])
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	h := newNodeHeap(5)
+	h.PushOrDecrease(0, 10)
+	h.PushOrDecrease(1, 5)
+	h.PushOrDecrease(2, 7)
+	if !h.PushOrDecrease(0, 1) {
+		t.Error("decrease-key rejected")
+	}
+	if h.PushOrDecrease(1, 9) {
+		t.Error("increase accepted")
+	}
+	v, p := h.Pop()
+	if v != 0 || p != 1 {
+		t.Errorf("Pop = %d,%v want 0,1", v, p)
+	}
+	v, _ = h.Pop()
+	if v != 1 {
+		t.Errorf("Pop = %d want 1", v)
+	}
+	v, _ = h.Pop()
+	if v != 2 || h.Len() != 0 {
+		t.Errorf("Pop = %d len=%d", v, h.Len())
+	}
+}
+
+func TestHeapRandomizedOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		h := newNodeHeap(n)
+		for i := 0; i < n; i++ {
+			h.PushOrDecrease(NodeID(i), rng.Float64())
+		}
+		// Random decreases.
+		for i := 0; i < n/2; i++ {
+			h.PushOrDecrease(NodeID(rng.Intn(n)), -rng.Float64())
+		}
+		prev := math.Inf(-1)
+		for h.Len() > 0 {
+			_, p := h.Pop()
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := line(t, 4)
+	c := g.Clone()
+	c.MustAddEdge(0, 3, 1)
+	if g.NumEdges() == c.NumEdges() {
+		t.Error("clone shares edge storage with original")
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+// nodeHeap is an indexed binary min-heap keyed by float64 priority. It
+// supports DecreaseKey in O(log n), which keeps Dijkstra at O(E log V)
+// without lazy-deletion duplicates. Positions are tracked per NodeID.
+type nodeHeap struct {
+	ids  []NodeID
+	prio []float64
+	pos  []int32 // pos[node] = index in ids, or -1
+}
+
+// newNodeHeap returns a heap able to hold nodes 0..n-1.
+func newNodeHeap(n int) *nodeHeap {
+	h := &nodeHeap{pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of queued nodes.
+func (h *nodeHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether v is currently queued.
+func (h *nodeHeap) Contains(v NodeID) bool { return h.pos[v] >= 0 }
+
+// PushOrDecrease inserts v with priority p, or lowers its priority if v is
+// already queued with a higher one. Returns false if v was queued with an
+// equal or lower priority (no change).
+func (h *nodeHeap) PushOrDecrease(v NodeID, p float64) bool {
+	if i := h.pos[v]; i >= 0 {
+		if p >= h.prio[i] {
+			return false
+		}
+		h.prio[i] = p
+		h.up(int(i))
+		return true
+	}
+	h.ids = append(h.ids, v)
+	h.prio = append(h.prio, p)
+	h.pos[v] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+	return true
+}
+
+// Pop removes and returns the minimum-priority node.
+func (h *nodeHeap) Pop() (NodeID, float64) {
+	v, p := h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, p
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *nodeHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.prio[l] < h.prio[small] {
+			small = l
+		}
+		if r < n && h.prio[r] < h.prio[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

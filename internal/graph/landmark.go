@@ -1,0 +1,125 @@
+package graph
+
+import "math"
+
+// Landmarks holds the ALT pre-computation of Goldberg & Harrelson [13]: a set
+// of anchor nodes and, for every node, the vector of shortest-path distances
+// to each anchor. The LM baseline stores one such vector with every node in
+// the region-data file.
+type Landmarks struct {
+	Anchors []NodeID
+	// Dist[v][k] is the shortest-path distance from node v to Anchors[k]
+	// (on undirected networks this equals the distance from the anchor).
+	Dist [][]float64
+}
+
+// SelectLandmarks picks k anchors with the farthest-point heuristic: the
+// first anchor is the node farthest from an arbitrary start, each subsequent
+// anchor maximizes the distance to the already-chosen set. This is the
+// standard ALT selection strategy and needs k+1 Dijkstra runs.
+func SelectLandmarks(g *Graph, k int) []NodeID {
+	n := g.NumNodes()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// Farthest node from node 0 seeds the set.
+	t := Dijkstra(g, 0)
+	first := NodeID(0)
+	bestD := -1.0
+	for v, d := range t.Dist {
+		if !math.IsInf(d, 1) && d > bestD {
+			bestD, first = d, NodeID(v)
+		}
+	}
+	anchors := []NodeID{first}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(anchors) < k {
+		t := Dijkstra(g, anchors[len(anchors)-1])
+		next, nd := Invalid, -1.0
+		for v := 0; v < n; v++ {
+			if t.Dist[v] < minDist[v] {
+				minDist[v] = t.Dist[v]
+			}
+			if !math.IsInf(minDist[v], 1) && minDist[v] > nd {
+				nd, next = minDist[v], NodeID(v)
+			}
+		}
+		if next == Invalid {
+			break
+		}
+		anchors = append(anchors, next)
+	}
+	return anchors
+}
+
+// BuildLandmarks computes the landmark distance vectors for the given
+// anchors. On directed graphs distances are measured *to* the anchors using
+// the reverse graph, which keeps the ALT bound admissible for forward search.
+func BuildLandmarks(g *Graph, anchors []NodeID) *Landmarks {
+	n := g.NumNodes()
+	lm := &Landmarks{Anchors: append([]NodeID(nil), anchors...)}
+	lm.Dist = make([][]float64, n)
+	for i := range lm.Dist {
+		lm.Dist[i] = make([]float64, len(anchors))
+	}
+	src := g
+	if g.Directed() {
+		src = g.Reverse()
+	}
+	for k, a := range anchors {
+		t := Dijkstra(src, a)
+		for v := 0; v < n; v++ {
+			lm.Dist[v][k] = t.Dist[v]
+		}
+	}
+	return lm
+}
+
+// Heuristic returns an admissible A* heuristic for destination dst based on
+// the landmark triangle inequality: |d(v,L) - d(dst,L)| <= d(v,dst).
+func (lm *Landmarks) Heuristic(dst NodeID) func(NodeID) float64 {
+	dvec := lm.Dist[dst]
+	return func(v NodeID) float64 {
+		best := 0.0
+		vv := lm.Dist[v]
+		for k := range dvec {
+			dv, dt := vv[k], dvec[k]
+			if math.IsInf(dv, 1) || math.IsInf(dt, 1) {
+				continue
+			}
+			if diff := math.Abs(dv - dt); diff > best {
+				best = diff
+			}
+		}
+		return best
+	}
+}
+
+// HeuristicFromVectors is Heuristic when the per-node vectors come from
+// region pages rather than a full Landmarks table. vec returns the landmark
+// vector of a node (nil if unknown, in which case the bound degrades to 0).
+func HeuristicFromVectors(dstVec []float64, vec func(NodeID) []float64) func(NodeID) float64 {
+	return func(v NodeID) float64 {
+		vv := vec(v)
+		if vv == nil {
+			return 0
+		}
+		best := 0.0
+		for k := range dstVec {
+			dv, dt := vv[k], dstVec[k]
+			if math.IsInf(dv, 1) || math.IsInf(dt, 1) {
+				continue
+			}
+			if diff := math.Abs(dv - dt); diff > best {
+				best = diff
+			}
+		}
+		return best
+	}
+}

@@ -1,0 +1,47 @@
+package kdtree
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func BenchmarkBuildPacked(b *testing.B) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.5)
+	size := adjacencySizeBench(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPacked(g, size, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPlain(b *testing.B) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.5)
+	size := adjacencySizeBench(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPlain(g, size, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.5)
+	p, err := BuildPacked(g, adjacencySizeBench(g), 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tree.Locate(geom.Point{X: float64(i % 50), Y: float64((i * 7) % 50)})
+	}
+}
+
+func adjacencySizeBench(g *graph.Graph) SizeFunc {
+	return func(v graph.NodeID) int { return 24 + 10*g.Degree(v) }
+}

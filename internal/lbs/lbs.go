@@ -1,0 +1,262 @@
+// Package lbs models the system architecture of §3.1 (Figure 1): an LBS
+// hosting the database files, an SCP offering a PIR interface over them, and
+// clients running the multi-round query protocol over a secure connection.
+//
+// The server records exactly what the adversary (the LBS itself) can
+// observe: for every query, the sequence of rounds and, within each round,
+// which file was accessed how many times. Page numbers are invisible — the
+// PIR layer hides them — so the trace is the complete adversarial view, and
+// the privacy tests assert it is identical across queries (Theorem 1).
+package lbs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/pagefile"
+	"repro/internal/pir"
+	"repro/internal/plan"
+)
+
+// Database is everything a scheme's build step produces: the public header,
+// the page files, and the public query plan.
+type Database struct {
+	Scheme string
+	Header []byte
+	Files  []*pagefile.File
+	Plan   plan.Plan
+}
+
+// File returns the named file, or nil.
+func (db *Database) File(name string) *pagefile.File {
+	for _, f := range db.Files {
+		if f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// TotalBytes is the database size (header plus all page files), the space
+// metric reported in the paper's charts.
+func (db *Database) TotalBytes() int64 {
+	total := int64(len(db.Header))
+	for _, f := range db.Files {
+		total += f.Size()
+	}
+	return total
+}
+
+// LargestFileBytes returns the biggest single file — the quantity the PIR
+// interface's 2.5 GB limit applies to.
+func (db *Database) LargestFileBytes() int64 {
+	var max int64
+	for _, f := range db.Files {
+		if f.Size() > max {
+			max = f.Size()
+		}
+	}
+	return max
+}
+
+// StoreFactory turns a page file into a PIR store. The default uses
+// pir.Plain (the experiments simulate PIR timing analytically, like the
+// paper); demos can plug pir.NewSqrtORAM to run real oblivious storage.
+type StoreFactory func(*pagefile.File) (pir.Store, error)
+
+// PlainStores is the default StoreFactory.
+func PlainStores(f *pagefile.File) (pir.Store, error) {
+	pages := make([][]byte, f.NumPages())
+	for i := range pages {
+		p, err := f.Page(i)
+		if err != nil {
+			return nil, err
+		}
+		pages[i] = p
+	}
+	return pir.NewPlain(pages, f.PageSize()), nil
+}
+
+// ORAMStores returns a StoreFactory backing each file with a real
+// square-root ORAM (slower; for demos and end-to-end obliviousness tests).
+func ORAMStores(seed int64) StoreFactory {
+	return func(f *pagefile.File) (pir.Store, error) {
+		pages := make([][]byte, f.NumPages())
+		for i := range pages {
+			p, err := f.Page(i)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
+		}
+		return pir.NewSqrtORAM(pages, f.PageSize(), seed)
+	}
+}
+
+// PyramidStores returns a StoreFactory backing each file with the
+// hierarchical pyramid ORAM — the closest functional model of the
+// Williams–Sion protocol the paper deploys on the SCP.
+func PyramidStores() StoreFactory {
+	return func(f *pagefile.File) (pir.Store, error) {
+		pages := make([][]byte, f.NumPages())
+		for i := range pages {
+			p, err := f.Page(i)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
+		}
+		return pir.NewPyramidORAM(pages, f.PageSize())
+	}
+}
+
+// Server hosts one database behind a PIR interface.
+type Server struct {
+	db     *Database
+	model  costmodel.Params
+	stores map[string]pir.Store
+}
+
+// NewServer prepares PIR stores for every file and validates the PIR size
+// limit (§3.2: files beyond the SCP-supported size cannot be served).
+func NewServer(db *Database, model costmodel.Params, factory StoreFactory) (*Server, error) {
+	if factory == nil {
+		factory = PlainStores
+	}
+	s := &Server{db: db, model: model, stores: map[string]pir.Store{}}
+	for _, f := range db.Files {
+		if !model.SupportsFile(f.Size()) {
+			return nil, fmt.Errorf("lbs: file %s (%d bytes) exceeds the PIR interface limit of %d bytes",
+				f.Name(), f.Size(), model.MaxFileBytes())
+		}
+		st, err := factory(f)
+		if err != nil {
+			return nil, fmt.Errorf("lbs: building PIR store for %s: %w", f.Name(), err)
+		}
+		s.stores[f.Name()] = st
+	}
+	return s, nil
+}
+
+// Database returns the hosted database.
+func (s *Server) Database() *Database { return s.db }
+
+// Model returns the cost model in force.
+func (s *Server) Model() costmodel.Params { return s.model }
+
+// Connect opens a client connection (one per query in the experiments).
+func (s *Server) Connect() *Conn {
+	return &Conn{server: s, fetches: map[string]int{}}
+}
+
+// Stats aggregates the response-time components of Table 3 for one query.
+type Stats struct {
+	PIR    time.Duration // server-side PIR time for all page retrievals
+	Comm   time.Duration // transfer + round-trip time on the client link
+	Client time.Duration // client-side computation (measured wall clock)
+	// Server is non-PIR server processing; zero for the PIR schemes, the
+	// dominant cost for the obfuscation baseline (§7.3).
+	Server time.Duration
+	Rounds int
+	// Fetches counts PIR page retrievals per file.
+	Fetches map[string]int
+	// HeaderBytes is the size of the directly-downloaded header.
+	HeaderBytes int
+}
+
+// Response is the total response time: the paper's headline metric.
+func (s Stats) Response() time.Duration { return s.PIR + s.Comm + s.Client + s.Server }
+
+// Conn is a client's secure connection to the SCP for one query.
+type Conn struct {
+	server  *Server
+	stats   Stats
+	fetches map[string]int
+	trace   strings.Builder
+	round   int
+}
+
+// DownloadHeader returns the full header file. It is public data fetched by
+// every client without the PIR interface (§5.3).
+func (c *Conn) DownloadHeader() []byte {
+	h := c.server.db.Header
+	c.stats.HeaderBytes = len(h)
+	c.stats.Comm += c.server.model.RTT + c.server.model.Transfer(len(h))
+	c.trace.WriteString("header\n")
+	return h
+}
+
+// BeginRound starts the next protocol round (one client→SCP round trip).
+func (c *Conn) BeginRound() {
+	c.round++
+	c.stats.Rounds++
+	c.stats.Comm += c.server.model.RTT
+	fmt.Fprintf(&c.trace, "round %d:", c.round)
+	c.trace.WriteString("\n")
+}
+
+// Fetch retrieves one page of the named file through the PIR interface.
+// The page index travels encrypted to the SCP; the adversary observes only
+// that some page of the file was read.
+func (c *Conn) Fetch(file string, page int) ([]byte, error) {
+	st, ok := c.server.stores[file]
+	if !ok {
+		return nil, fmt.Errorf("lbs: no such file %q", file)
+	}
+	data, err := st.Read(page)
+	if err != nil {
+		return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, page, err)
+	}
+	c.stats.PIR += c.server.model.PIRFetch(st.NumPages())
+	c.stats.Comm += c.server.model.Transfer(st.PageSize())
+	c.fetches[file]++
+	fmt.Fprintf(&c.trace, "  fetch %s\n", file) // page number NOT visible
+	return data, nil
+}
+
+// Stats returns the accumulated cost components. AddClientTime must be
+// called by the scheme before reading them.
+func (c *Conn) Stats() Stats {
+	s := c.stats
+	s.Fetches = make(map[string]int, len(c.fetches))
+	for k, v := range c.fetches {
+		s.Fetches[k] = v
+	}
+	return s
+}
+
+// AddClientTime accrues measured client-side computation.
+func (c *Conn) AddClientTime(d time.Duration) { c.stats.Client += d }
+
+// Trace returns the adversary-visible access transcript. Two queries are
+// indistinguishable exactly when their traces are equal.
+func (c *Conn) Trace() string { return c.trace.String() }
+
+// ConformsTo checks the transcript against the public plan: same number of
+// rounds, same files in the same order, same per-file counts. The privacy
+// tests run every query through this.
+func (c *Conn) ConformsTo(p plan.Plan) error {
+	want := canonicalTrace(p)
+	if got := c.trace.String(); got != want {
+		return fmt.Errorf("lbs: trace deviates from plan\ngot:\n%swant:\n%s", got, want)
+	}
+	return nil
+}
+
+// canonicalTrace renders the unique transcript a plan-conforming query
+// produces.
+func canonicalTrace(p plan.Plan) string {
+	var b strings.Builder
+	b.WriteString("header\n")
+	for i, r := range p.Rounds {
+		fmt.Fprintf(&b, "round %d:\n", i+1)
+		for _, f := range r.Fetches {
+			for k := 0; k < f.Count; k++ {
+				fmt.Fprintf(&b, "  fetch %s\n", f.File)
+			}
+		}
+	}
+	return b.String()
+}

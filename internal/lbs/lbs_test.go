@@ -1,0 +1,170 @@
+package lbs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/pagefile"
+	"repro/internal/plan"
+)
+
+func sampleDB(t *testing.T) *Database {
+	t.Helper()
+	fa := pagefile.NewFile("Fa", 64)
+	fb := pagefile.NewFile("Fb", 64)
+	for i := 0; i < 4; i++ {
+		fa.MustAppendPage([]byte{byte(i)})
+	}
+	fb.MustAppendPage([]byte("hello"))
+	return &Database{
+		Scheme: "TEST",
+		Header: []byte("header-bytes"),
+		Files:  []*pagefile.File{fa, fb},
+		Plan: plan.Plan{Rounds: []plan.Round{
+			{Fetches: []plan.Fetch{{File: "Fa", Count: 2}}},
+			{Fetches: []plan.Fetch{{File: "Fb", Count: 1}}},
+		}},
+	}
+}
+
+func TestDatabaseAccessors(t *testing.T) {
+	db := sampleDB(t)
+	if db.File("Fa") == nil || db.File("Fb") == nil {
+		t.Fatal("files missing")
+	}
+	if db.File("Fc") != nil {
+		t.Error("phantom file")
+	}
+	if db.TotalBytes() != int64(len(db.Header))+5*64 {
+		t.Errorf("TotalBytes = %d", db.TotalBytes())
+	}
+	if db.LargestFileBytes() != 4*64 {
+		t.Errorf("LargestFileBytes = %d", db.LargestFileBytes())
+	}
+}
+
+func TestServerRejectsOversizedFiles(t *testing.T) {
+	db := sampleDB(t)
+	model := costmodel.Default()
+	model.SCPMemory = 1 // PIR supports almost nothing
+	if _, err := NewServer(db, model, nil); err == nil {
+		t.Error("oversized file accepted by PIR-limited server")
+	}
+}
+
+func TestConnAccountingAndTrace(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := srv.Connect()
+	h := conn.DownloadHeader()
+	if string(h) != "header-bytes" {
+		t.Errorf("header = %q", h)
+	}
+	conn.BeginRound()
+	if _, err := conn.Fetch("Fa", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Fetch("Fa", 3); err != nil {
+		t.Fatal(err)
+	}
+	conn.BeginRound()
+	if _, err := conn.Fetch("Fb", 0); err != nil {
+		t.Fatal(err)
+	}
+	conn.AddClientTime(5 * time.Millisecond)
+
+	st := conn.Stats()
+	if st.Rounds != 2 {
+		t.Errorf("Rounds = %d", st.Rounds)
+	}
+	if st.Fetches["Fa"] != 2 || st.Fetches["Fb"] != 1 {
+		t.Errorf("Fetches = %v", st.Fetches)
+	}
+	if st.PIR <= 0 || st.Comm <= 0 || st.Client != 5*time.Millisecond {
+		t.Errorf("components: %+v", st)
+	}
+	if st.HeaderBytes != len("header-bytes") {
+		t.Errorf("HeaderBytes = %d", st.HeaderBytes)
+	}
+	if st.Response() != st.PIR+st.Comm+st.Client+st.Server {
+		t.Error("Response mismatch")
+	}
+	// The trace shows files but never page numbers.
+	if strings.Contains(conn.Trace(), "3") {
+		t.Errorf("trace leaks page number:\n%s", conn.Trace())
+	}
+	if err := conn.ConformsTo(db.Plan); err != nil {
+		t.Errorf("conforming trace rejected: %v", err)
+	}
+}
+
+func TestConformsToCatchesDeviation(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := srv.Connect()
+	conn.DownloadHeader()
+	conn.BeginRound()
+	conn.Fetch("Fa", 0) // plan wants 2 fetches in round 1
+	conn.BeginRound()
+	conn.Fetch("Fb", 0)
+	if err := conn.ConformsTo(db.Plan); err == nil {
+		t.Error("deviating trace accepted")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := srv.Connect()
+	if _, err := conn.Fetch("nope", 0); err == nil {
+		t.Error("unknown file fetched")
+	}
+	if _, err := conn.Fetch("Fa", 99); err == nil {
+		t.Error("out-of-range page fetched")
+	}
+}
+
+func TestORAMStoresServeCorrectly(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), ORAMStores(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := srv.Connect()
+	page, err := conn.Fetch("Fb", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(page), "hello") {
+		t.Errorf("ORAM-backed fetch returned %q", page)
+	}
+}
+
+func TestPyramidStoresServeCorrectly(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), PyramidStores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := srv.Connect()
+	for i := 0; i < 10; i++ {
+		page, err := conn.Fetch("Fa", i%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page[0] != byte(i%4) {
+			t.Fatalf("pyramid-backed fetch %d returned wrong page", i)
+		}
+	}
+}

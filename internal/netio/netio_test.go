@@ -1,0 +1,118 @@
+package netio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReadNetwork(t *testing.T) {
+	nodes := strings.NewReader(`# comment
+0 0.0 0.0
+1 1.0 0.5
+
+2 2.0 1.0`)
+	edges := strings.NewReader(`# id from to weight
+0 0 1 1.5
+1 1 2 2.5`)
+	g, err := ReadNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 1.5 {
+		t.Errorf("edge 0-1 = %v,%v", w, ok)
+	}
+	if d := graph.ShortestPath(g, 0, 2).Cost; d != 4 {
+		t.Errorf("dist = %v, want 4", d)
+	}
+}
+
+func TestReadNetworkThreeFieldEdges(t *testing.T) {
+	nodes := strings.NewReader("0 0 0\n1 1 1\n")
+	edges := strings.NewReader("0 1 3.25\n")
+	g, err := ReadNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 3.25 {
+		t.Errorf("edge = %v,%v", w, ok)
+	}
+}
+
+func TestReadNetworkSparseIDs(t *testing.T) {
+	nodes := strings.NewReader("100 0 0\n250 1 1\n")
+	edges := strings.NewReader("0 100 250 2\n")
+	g, err := ReadNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("%d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadNetworkErrors(t *testing.T) {
+	cases := []struct {
+		name         string
+		nodes, edges string
+	}{
+		{"short node line", "0 1\n", ""},
+		{"bad coord", "0 x 1\n", ""},
+		{"duplicate id", "0 0 0\n0 1 1\n", ""},
+		{"unknown endpoint", "0 0 0\n1 1 1\n", "0 0 7 1\n"},
+		{"bad weight", "0 0 0\n1 1 1\n", "0 0 1 zero\n"},
+		{"negative weight", "0 0 0\n1 1 1\n", "0 0 1 -4\n"},
+		{"short edge line", "0 0 0\n1 1 1\n", "0 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadNetwork(strings.NewReader(c.nodes), strings.NewReader(c.edges)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRoundTripPreservesDistances(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.05)
+	var nodes, edges bytes.Buffer
+	if err := WriteNetwork(g, &nodes, &edges); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(&nodes, &edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d", back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, pair := range [][2]graph.NodeID{{0, 50}, {3, 99}, {10, 200}} {
+		want := graph.ShortestPath(g, pair[0], pair[1]).Cost
+		got := graph.ShortestPath(back, pair[0], pair[1]).Cost
+		if math.Abs(want-got) > 1e-12 {
+			t.Errorf("distance %v changed to %v after round trip", want, got)
+		}
+	}
+	for i := 0; i < g.NumNodes(); i += 37 {
+		if g.Point(graph.NodeID(i)) != back.Point(graph.NodeID(i)) {
+			t.Fatalf("node %d coordinates changed", i)
+		}
+	}
+}
+
+func TestWriteDirected(t *testing.T) {
+	g := graph.Directize(gen.GeneratePreset(gen.Oldenburg, 0.02), 0.1)
+	var nodes, edges bytes.Buffer
+	if err := WriteNetwork(g, &nodes, &edges); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(edges.String(), "\n") - 1 // minus header
+	if lines != g.NumEdges() {
+		t.Errorf("wrote %d edge lines, want %d", lines, g.NumEdges())
+	}
+}

@@ -1,0 +1,122 @@
+package pagefile
+
+import "fmt"
+
+// Packer implements the no-straddle placement rule of §5.3 for the network
+// index file F_i: records are placed contiguously into pages in key order,
+// but a record smaller than a page never stretches over two pages — if the
+// free space in the current page cannot host the next record, that space is
+// left unutilized and the record starts in the next page. A record larger
+// than a page starts at a page boundary so it spans exactly
+// ceil(len/pageSize) pages.
+type Packer struct {
+	file    *File
+	current []byte
+	// spans records, for each appended record in order, the first page it
+	// occupies and how many pages it spans.
+	spans []Span
+}
+
+// Span locates a packed record inside its file.
+type Span struct {
+	Page  int // first page number
+	Pages int // number of pages spanned
+	Off   int // byte offset of the record within its first page
+	Len   int // record length in bytes
+}
+
+// NewPacker returns a packer appending to file.
+func NewPacker(file *File) *Packer {
+	return &Packer{file: file}
+}
+
+// Append places one record and returns its span.
+func (p *Packer) Append(rec []byte) Span {
+	ps := p.file.PageSize()
+	if len(rec) > ps {
+		// Large record: flush, then span whole pages from a boundary.
+		p.flush()
+		first := p.file.NumPages()
+		span := Span{Page: first, Pages: (len(rec) + ps - 1) / ps, Off: 0, Len: len(rec)}
+		for off := 0; off < len(rec); off += ps {
+			end := off + ps
+			if end > len(rec) {
+				end = len(rec)
+			}
+			p.file.MustAppendPage(rec[off:end])
+		}
+		p.spans = append(p.spans, span)
+		return span
+	}
+	if len(p.current)+len(rec) > ps {
+		p.flush()
+	}
+	span := Span{Page: p.pendingPage(), Pages: 1, Off: len(p.current), Len: len(rec)}
+	p.current = append(p.current, rec...)
+	p.spans = append(p.spans, span)
+	return span
+}
+
+// pendingPage is the page number the current buffer will become.
+func (p *Packer) pendingPage() int { return p.file.NumPages() }
+
+// CurrentFree returns the free bytes left in the open page; compression code
+// uses it to decide whether a delta-coded record still fits.
+func (p *Packer) CurrentFree() int {
+	return p.file.PageSize() - len(p.current)
+}
+
+// CurrentPage returns the page number the next small record would land in.
+func (p *Packer) CurrentPage() int { return p.pendingPage() }
+
+// Flush closes the open page, if any.
+func (p *Packer) Flush() { p.flush() }
+
+func (p *Packer) flush() {
+	if len(p.current) > 0 {
+		p.file.MustAppendPage(p.current)
+		p.current = nil
+	}
+}
+
+// Spans returns the placement of every record in append order. Valid after
+// Flush.
+func (p *Packer) Spans() []Span { return p.spans }
+
+// MaxSpanPages returns the largest Pages value over all records — the value
+// the query plan uses to fix per-round retrieval counts (§5.4: "as many
+// pages from F_i as the maximum number of pages spanned by any S_i,j set").
+func (p *Packer) MaxSpanPages() int {
+	max := 0
+	for _, s := range p.spans {
+		if s.Pages > max {
+			max = s.Pages
+		}
+	}
+	return max
+}
+
+// ReadSpan reassembles a record from its span. Clients use it after fetching
+// the span's pages through PIR; this helper exists for tests and build-time
+// verification.
+func ReadSpan(f *File, s Span) ([]byte, error) {
+	if s.Pages == 1 {
+		page, err := f.Page(s.Page)
+		if err != nil {
+			return nil, err
+		}
+		if s.Off+s.Len > len(page) {
+			return nil, fmt.Errorf("pagefile: span overruns page: %+v", s)
+		}
+		return page[s.Off : s.Off+s.Len], nil
+	}
+	out := make([]byte, 0, s.Len)
+	for i := 0; i < s.Pages; i++ {
+		page, err := f.Page(s.Page + i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+	}
+	return out[:s.Len], nil
+}

@@ -1,0 +1,59 @@
+package pir
+
+import "testing"
+
+func BenchmarkSqrtORAMRead(b *testing.B) {
+	pages := makePages(256, 4096, 1)
+	o, err := NewSqrtORAM(pages, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(i % 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXORPIRRead(b *testing.B) {
+	pages := makePages(256, 4096, 2)
+	x, err := NewXORPIR(pages, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Read(i % 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKOPIRReadBit(b *testing.B) {
+	pages := makePages(16, 1, 3)
+	k, err := NewKOPIR(pages, 1, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.readBit(i%16, i%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlainRead(b *testing.B) {
+	pages := makePages(256, 4096, 4)
+	p := NewPlain(pages, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Read(i % 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

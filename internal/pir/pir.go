@@ -1,0 +1,59 @@
+// Package pir provides the private information retrieval building blocks of
+// §2.2 and §3.2. The paper's schemes treat PIR as a black box with proven
+// security guarantees; this package supplies that box in three independent
+// flavours, all satisfying the same Store interface:
+//
+//   - SqrtORAM: a square-root ORAM (Goldreich) over AES-CTR-encrypted pages,
+//     the functional stand-in for the hardware-aided protocol of Williams &
+//     Sion [36] that the paper deploys on the IBM 4764 SCP. Its physical
+//     access pattern is provably independent of the logical one, which the
+//     tests verify empirically.
+//   - XORPIR: the classic two-server information-theoretic PIR of Chor,
+//     Goldreich, Kushilevitz & Sudan [4].
+//   - KOPIR: single-server computational PIR from the quadratic residuosity
+//     assumption (Kushilevitz–Ostrovsky), built on math/big.
+//
+// Timing in the experiments comes from costmodel (the paper simulates the
+// SCP too); these implementations establish that the oblivious-retrieval
+// layer is real, not assumed.
+package pir
+
+import "fmt"
+
+// Store is the PIR interface the schemes program against: retrieve one page
+// by index, with the backing server(s) learning nothing about the index.
+type Store interface {
+	// Read returns the content of the logical page.
+	Read(page int) ([]byte, error)
+	// NumPages returns the logical file length. Public information.
+	NumPages() int
+	// PageSize returns the page size in bytes. Public information.
+	PageSize() int
+}
+
+// Plain is a non-private Store: direct reads. The obfuscation baseline and
+// build-time verification use it; it also demonstrates that the schemes are
+// agnostic to the PIR implementation behind the interface.
+type Plain struct {
+	pages    [][]byte
+	pageSize int
+}
+
+// NewPlain wraps pages in a Plain store.
+func NewPlain(pages [][]byte, pageSize int) *Plain {
+	return &Plain{pages: pages, pageSize: pageSize}
+}
+
+// Read returns page i.
+func (p *Plain) Read(page int) ([]byte, error) {
+	if page < 0 || page >= len(p.pages) {
+		return nil, fmt.Errorf("pir: page %d of %d", page, len(p.pages))
+	}
+	return p.pages[page], nil
+}
+
+// NumPages returns the page count.
+func (p *Plain) NumPages() int { return len(p.pages) }
+
+// PageSize returns the page size.
+func (p *Plain) PageSize() int { return p.pageSize }

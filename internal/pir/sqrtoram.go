@@ -1,0 +1,262 @@
+package pir
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	mrand "math/rand"
+)
+
+// SqrtORAM is a square-root ORAM in the spirit of Goldreich's construction:
+// the trusted unit (the SCP of §3.2) stores the N logical pages encrypted
+// and pseudo-randomly permuted in a server-held main area, plus sqrt(N)
+// encrypted shelter slots. Each logical read scans the entire shelter and
+// touches exactly one main-area slot — a fresh, never-revisited position
+// whether or not the logical page was found in the shelter — so the
+// server-visible physical sequence is independent of the access pattern.
+// After sqrt(N) reads the structure is reshuffled under a new permutation.
+//
+// The server-visible side is modelled explicitly: serverMain/serverShelter
+// hold only ciphertexts, and every physical touch is appended to the access
+// log that the obliviousness tests inspect.
+type SqrtORAM struct {
+	numPages int
+	pageSize int
+
+	// Server-visible state: ciphertext slots.
+	serverMain    [][]byte // N + sqrt(N) slots (real pages + dummies)
+	serverShelter [][]byte // sqrt(N) slots
+
+	// Trusted-unit (SCP) state.
+	key       []byte
+	perm      []int // logical slot -> physical position in serverMain
+	shelter   map[int][]byte
+	dummyNext int // next unread dummy slot index (logical ids N..N+sqrt-1)
+	reads     int
+	shelterN  int
+
+	epoch uint64 // bumped every shuffle; part of the encryption nonce
+	log   *AccessLog
+	rng   io.Reader
+	prng  *mrand.Rand // deterministic shuffles for reproducible tests
+}
+
+// AccessLog records every server-visible physical touch. Area is "main" or
+// "shelter"; Pos is the physical slot index.
+type AccessLog struct {
+	Touches []Touch
+}
+
+// Touch is one physical slot access visible to the server.
+type Touch struct {
+	Area string
+	Pos  int
+}
+
+// NewSqrtORAM builds the ORAM over the given plaintext pages. seed
+// determines the shuffle PRNG (tests need reproducibility; production use
+// would seed from crypto/rand).
+func NewSqrtORAM(pages [][]byte, pageSize int, seed int64) (*SqrtORAM, error) {
+	n := len(pages)
+	if n == 0 {
+		return nil, fmt.Errorf("pir: empty file")
+	}
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, err
+	}
+	o := &SqrtORAM{
+		numPages: n,
+		pageSize: pageSize,
+		key:      key,
+		log:      &AccessLog{},
+		rng:      rand.Reader,
+		prng:     mrand.New(mrand.NewSource(seed)),
+	}
+	o.shelterN = isqrt(n)
+	if o.shelterN < 1 {
+		o.shelterN = 1
+	}
+	if err := o.shuffle(pages); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// shuffle (re)builds the permuted encrypted main area and clears the
+// shelter. It re-encrypts every page under a new epoch, so the server
+// cannot link slots across epochs.
+func (o *SqrtORAM) shuffle(plain [][]byte) error {
+	o.epoch++
+	total := o.numPages + o.shelterN
+	o.perm = o.prng.Perm(total)
+	o.serverMain = make([][]byte, total)
+	for logical := 0; logical < total; logical++ {
+		var content []byte
+		if logical < o.numPages {
+			content = plain[logical]
+		} else {
+			content = make([]byte, o.pageSize) // dummy page
+		}
+		ct, err := o.encrypt(uint64(logical), content)
+		if err != nil {
+			return err
+		}
+		o.serverMain[o.perm[logical]] = ct
+	}
+	o.serverShelter = make([][]byte, o.shelterN)
+	for i := range o.serverShelter {
+		ct, err := o.encrypt(uint64(total+i), make([]byte, o.pageSize))
+		if err != nil {
+			return err
+		}
+		o.serverShelter[i] = ct
+	}
+	o.shelter = make(map[int][]byte, o.shelterN)
+	o.dummyNext = o.numPages
+	o.reads = 0
+	return nil
+}
+
+// Read implements Store.
+func (o *SqrtORAM) Read(page int) ([]byte, error) {
+	if page < 0 || page >= o.numPages {
+		return nil, fmt.Errorf("pir: page %d of %d", page, o.numPages)
+	}
+	if o.reads >= o.shelterN {
+		if err := o.reshuffleFromState(); err != nil {
+			return nil, err
+		}
+	}
+
+	// 1. Scan the whole shelter (server sees every slot touched).
+	for i := range o.serverShelter {
+		o.log.Touches = append(o.log.Touches, Touch{Area: "shelter", Pos: i})
+	}
+	content, inShelter := o.shelter[page]
+
+	// 2. Touch exactly one main-area slot: the target if it was not
+	// sheltered, otherwise the next unread dummy. Either way the position
+	// is fresh uniform-random to the server.
+	var logical int
+	if inShelter {
+		logical = o.dummyNext
+		o.dummyNext++
+	} else {
+		logical = page
+	}
+	phys := o.perm[logical]
+	o.log.Touches = append(o.log.Touches, Touch{Area: "main", Pos: phys})
+	ct := o.serverMain[phys]
+	pt, err := o.decrypt(uint64(logical), ct)
+	if err != nil {
+		return nil, err
+	}
+	if !inShelter {
+		content = pt
+	}
+
+	// 3. Write the page into the shelter (server sees a full shelter
+	// rewrite; re-encrypted so slots are unlinkable).
+	o.shelter[page] = content
+	o.reads++
+	shelterEpochTag := o.epoch<<32 | uint64(o.reads)
+	for i := range o.serverShelter {
+		ct, err := o.encrypt(shelterEpochTag+uint64(i)<<16, make([]byte, o.pageSize))
+		if err != nil {
+			return nil, err
+		}
+		o.serverShelter[i] = ct
+	}
+
+	out := make([]byte, len(content))
+	copy(out, content)
+	return out, nil
+}
+
+// reshuffleFromState decrypts the current state back to plaintext pages and
+// rebuilds the structure (the epoch-ending reorganization; in [36] this is
+// the amortized O(log^2 N) cost).
+func (o *SqrtORAM) reshuffleFromState() error {
+	plain := make([][]byte, o.numPages)
+	for logical := 0; logical < o.numPages; logical++ {
+		if c, ok := o.shelter[logical]; ok {
+			plain[logical] = c
+			continue
+		}
+		pt, err := o.decrypt(uint64(logical), o.serverMain[o.perm[logical]])
+		if err != nil {
+			return err
+		}
+		plain[logical] = pt
+	}
+	return o.shuffle(plain)
+}
+
+// NumPages implements Store.
+func (o *SqrtORAM) NumPages() int { return o.numPages }
+
+// PageSize implements Store.
+func (o *SqrtORAM) PageSize() int { return o.pageSize }
+
+// Log returns the physical access log (for tests and audits).
+func (o *SqrtORAM) Log() *AccessLog { return o.log }
+
+// ShelterSize returns sqrt(N): reads per epoch.
+func (o *SqrtORAM) ShelterSize() int { return o.shelterN }
+
+// encrypt AES-CTR encrypts content under a nonce derived from the epoch and
+// slot tag, and appends an HMAC-SHA256 tag (the SCP of §3.2 is
+// tamper-detecting; the adversary is honest-but-curious, but integrity is
+// cheap and catches storage corruption).
+func (o *SqrtORAM) encrypt(tag uint64, content []byte) ([]byte, error) {
+	block, err := aes.NewCipher(o.key[:16])
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, o.epoch)
+	binary.LittleEndian.PutUint64(iv[8:], tag)
+	ct := make([]byte, len(content))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, content)
+	mac := hmac.New(sha256.New, o.key[16:])
+	mac.Write(iv)
+	mac.Write(ct)
+	return append(ct, mac.Sum(nil)...), nil
+}
+
+func (o *SqrtORAM) decrypt(tag uint64, ct []byte) ([]byte, error) {
+	if len(ct) < sha256.Size {
+		return nil, fmt.Errorf("pir: ciphertext too short")
+	}
+	body, sum := ct[:len(ct)-sha256.Size], ct[len(ct)-sha256.Size:]
+	block, err := aes.NewCipher(o.key[:16])
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, o.epoch)
+	binary.LittleEndian.PutUint64(iv[8:], tag)
+	mac := hmac.New(sha256.New, o.key[16:])
+	mac.Write(iv)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), sum) {
+		return nil, fmt.Errorf("pir: page authentication failed (storage tampered?)")
+	}
+	pt := make([]byte, len(body))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, body)
+	return pt, nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

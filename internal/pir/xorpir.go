@@ -1,0 +1,92 @@
+package pir
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// XORPIR is the two-server information-theoretic PIR of Chor, Goldreich,
+// Kushilevitz and Sudan [4]: the client sends a uniformly random subset S of
+// page indices to server A and S Δ {target} to server B; each server
+// returns the XOR of its selected pages; XORing the two replies yields the
+// target page. As long as the servers do not collude, each sees a uniformly
+// random subset, revealing nothing about the target — not even
+// computationally bounded adversaries learn anything.
+type XORPIR struct {
+	a, b     *xorServer
+	numPages int
+	pageSize int
+	rng      io.Reader
+	// QueriesSeen exposes the last query vectors each server received, so
+	// tests can verify the servers' views are uniform and uncorrelated
+	// with the target.
+	LastQueryA, LastQueryB []byte
+}
+
+// xorServer is one non-colluding replica holding the full plaintext file.
+type xorServer struct {
+	pages    [][]byte
+	pageSize int
+}
+
+// answer XORs together the pages selected by the bit vector.
+func (s *xorServer) answer(sel []byte) []byte {
+	out := make([]byte, s.pageSize)
+	for i, page := range s.pages {
+		if sel[i/8]&(1<<(i%8)) != 0 {
+			for j := range page {
+				out[j] ^= page[j]
+			}
+		}
+	}
+	return out
+}
+
+// NewXORPIR replicates pages onto two logical servers.
+func NewXORPIR(pages [][]byte, pageSize int) (*XORPIR, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("pir: empty file")
+	}
+	return &XORPIR{
+		a:        &xorServer{pages: pages, pageSize: pageSize},
+		b:        &xorServer{pages: pages, pageSize: pageSize},
+		numPages: len(pages),
+		pageSize: pageSize,
+		rng:      rand.Reader,
+	}, nil
+}
+
+// Read implements Store.
+func (x *XORPIR) Read(page int) ([]byte, error) {
+	if page < 0 || page >= x.numPages {
+		return nil, fmt.Errorf("pir: page %d of %d", page, x.numPages)
+	}
+	nbytes := (x.numPages + 7) / 8
+	selA := make([]byte, nbytes)
+	if _, err := io.ReadFull(x.rng, selA); err != nil {
+		return nil, err
+	}
+	// Mask trailing bits beyond numPages so the two views stay comparable.
+	if rem := x.numPages % 8; rem != 0 {
+		selA[nbytes-1] &= byte(1<<rem) - 1
+	}
+	selB := make([]byte, nbytes)
+	copy(selB, selA)
+	selB[page/8] ^= 1 << (page % 8)
+
+	x.LastQueryA, x.LastQueryB = selA, selB
+	ra := x.a.answer(selA)
+	rb := x.b.answer(selB)
+	out := make([]byte, x.pageSize)
+	for i := range out {
+		out[i] = ra[i] ^ rb[i]
+	}
+	return out, nil
+}
+
+// NumPages implements Store.
+func (x *XORPIR) NumPages() int { return x.numPages }
+
+// PageSize implements Store.
+func (x *XORPIR) PageSize() int { return x.pageSize }

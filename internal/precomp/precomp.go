@@ -1,0 +1,488 @@
+// Package precomp implements the pre-computation of §5.2 and §6: for every
+// pair of regions (R_i, R_j) it derives
+//
+//   - S_i,j — the set of intermediate regions crossed by at least one
+//     shortest path between a border node of R_i and a border node of R_j
+//     (the Concise Index payload), and
+//   - G_i,j — the exact set of original edges appearing on those shortest
+//     paths (the Passage Index payload).
+//
+// Any shortest path from a source in R_i to a destination in R_j is
+// guaranteed to lie entirely inside R_i ∪ R_j ∪ S_i,j (respectively
+// R_i ∪ R_j ∪ G_i,j): the path exits R_i through some border node v, enters
+// R_j through some border node v', and its middle section is a shortest path
+// SP(v, v') considered here.
+//
+// The computation runs one Dijkstra per border node on the augmented graph
+// and extracts region/edge sets with memoized parent-chain walks, so the
+// total work is O(#borders · E log V + output).
+package precomp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/border"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+)
+
+// EdgeRef is an original network edge appearing in a G_i,j subgraph. Weights
+// are carried because PI clients receive subgraph edges for regions whose
+// pages they never fetch.
+type EdgeRef struct {
+	From, To graph.NodeID
+	W        float64
+}
+
+// Options selects what to materialize.
+type Options struct {
+	Sets      bool // compute S_i,j region sets (CI, HY)
+	Subgraphs bool // compute G_i,j edge subgraphs (PI, PI*, HY)
+	// Workers bounds the pre-computation parallelism: 0 = GOMAXPROCS,
+	// 1 = serial. The result is deterministic regardless of the setting.
+	Workers int
+}
+
+// Result holds the materialized pre-computation, indexed by PairIndex.
+type Result struct {
+	NumRegions int
+	Directed   bool
+	// Sets[k] is S_i,j as a sorted slice of region IDs, excluding i and j
+	// themselves (the client always fetches the source and destination
+	// regions anyway). Nil slices mean "no border pair connects i to j".
+	Sets [][]kdtree.RegionID
+	// Subgraphs[k] is G_i,j as a slice of original edges, deduplicated,
+	// sorted by (From, To).
+	Subgraphs [][]EdgeRef
+	// MaxSetSize is m: the largest |S_i,j| (§5.4), which fixes the number
+	// of region-data pages in CI's query plan.
+	MaxSetSize int
+}
+
+// NumPairs returns how many (i,j) combinations are materialized: all ordered
+// pairs for directed networks, i<=j for undirected ones (§5.3: "sets S_i,j
+// where i > j would be omitted").
+func NumPairs(numRegions int, directed bool) int {
+	if directed {
+		return numRegions * numRegions
+	}
+	return numRegions * (numRegions + 1) / 2
+}
+
+// PairIndex flattens (i, j) into an index of Sets/Subgraphs. For undirected
+// networks the pair is canonicalized to i <= j first.
+func PairIndex(numRegions int, directed bool, i, j kdtree.RegionID) int {
+	if !directed && i > j {
+		i, j = j, i
+	}
+	if directed {
+		return int(i)*numRegions + int(j)
+	}
+	// Triangular numbering over i <= j.
+	ii := int(i)
+	return ii*numRegions - ii*(ii-1)/2 + int(j) - ii
+}
+
+// PairFromIndex inverts PairIndex; used by file-formation code that walks
+// pairs in (i,j) order.
+func PairFromIndex(numRegions int, directed bool, k int) (kdtree.RegionID, kdtree.RegionID) {
+	if directed {
+		return kdtree.RegionID(k / numRegions), kdtree.RegionID(k % numRegions)
+	}
+	i := 0
+	rowLen := numRegions
+	for k >= rowLen {
+		k -= rowLen
+		rowLen--
+		i++
+	}
+	return kdtree.RegionID(i), kdtree.RegionID(i + k)
+}
+
+// Compute runs the pre-computation over the augmented network: one Dijkstra
+// per border node (parallelized across Options.Workers), with memoized
+// parent-chain walks extracting the region sets and subgraph edges.
+func Compute(aug *border.Augmented, part *kdtree.Partition, opts Options) (*Result, error) {
+	if !opts.Sets && !opts.Subgraphs {
+		return nil, fmt.Errorf("precomp: nothing requested")
+	}
+	R := part.NumRegions
+	directed := aug.G.Directed()
+	res := &Result{NumRegions: R, Directed: directed}
+	np := NumPairs(R, directed)
+	if opts.Sets {
+		res.Sets = make([][]kdtree.RegionID, np)
+	}
+	if opts.Subgraphs {
+		res.Subgraphs = make([][]EdgeRef, np)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(aug.Borders) {
+		workers = len(aug.Borders)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		w := newWorker(aug, part, opts, np)
+		for bi := range aug.Borders {
+			w.processBorder(bi)
+		}
+		w.mergeInto(res, opts)
+	} else {
+		var wg sync.WaitGroup
+		partial := make([]*worker, workers)
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := newWorker(aug, part, opts, np)
+				// Strided assignment keeps the split deterministic (the
+				// merged result is order-independent anyway).
+				for bi := wi; bi < len(aug.Borders); bi += workers {
+					w.processBorder(bi)
+				}
+				partial[wi] = w
+			}(wi)
+		}
+		wg.Wait()
+		for _, w := range partial {
+			w.mergeInto(res, opts)
+		}
+	}
+
+	if opts.Sets {
+		for k, s := range res.Sets {
+			res.Sets[k] = dedupeRegions(s)
+			if len(res.Sets[k]) > res.MaxSetSize {
+				res.MaxSetSize = len(res.Sets[k])
+			}
+		}
+	}
+	if opts.Subgraphs {
+		for k := range res.Subgraphs {
+			res.Subgraphs[k] = dedupeEdges(res.Subgraphs[k])
+		}
+	}
+	return res, nil
+}
+
+// worker carries one goroutine's scratch state and partial results.
+type worker struct {
+	aug  *border.Augmented
+	part *kdtree.Partition
+	opts Options
+	R    int
+	np   int
+
+	words    int
+	regbits  []uint64
+	regStamp []int32
+	walkSrc  []int32
+	walkJ    []int32
+	stamp    int32
+	accum    []uint64
+	chain    []graph.NodeID
+
+	sets  [][]kdtree.RegionID
+	edges [][]EdgeRef
+}
+
+func newWorker(aug *border.Augmented, part *kdtree.Partition, opts Options, np int) *worker {
+	n := aug.G.NumNodes()
+	R := part.NumRegions
+	w := &worker{
+		aug: aug, part: part, opts: opts, R: R, np: np,
+		words:    (R + 63) / 64,
+		regStamp: make([]int32, n),
+		walkSrc:  make([]int32, n),
+		walkJ:    make([]int32, n),
+	}
+	w.regbits = make([]uint64, n*w.words)
+	w.accum = make([]uint64, w.words)
+	for i := range w.regStamp {
+		w.regStamp[i] = -1
+		w.walkSrc[i] = -1
+	}
+	if opts.Sets {
+		w.sets = make([][]kdtree.RegionID, np)
+	}
+	if opts.Subgraphs {
+		w.edges = make([][]EdgeRef, np)
+	}
+	return w
+}
+
+// mergeInto folds the worker's partial results into the shared result;
+// called single-threaded after the pool drains.
+func (w *worker) mergeInto(res *Result, opts Options) {
+	if opts.Sets {
+		for k, s := range w.sets {
+			if len(s) > 0 {
+				res.Sets[k] = append(res.Sets[k], s...)
+			}
+		}
+	}
+	if opts.Subgraphs {
+		for k, es := range w.edges {
+			if len(es) > 0 {
+				res.Subgraphs[k] = append(res.Subgraphs[k], es...)
+			}
+		}
+	}
+}
+
+func (w *worker) setBits(dst []uint64, v graph.NodeID) {
+	for _, r := range w.aug.RegionsOfNode(v, w.part) {
+		dst[r/64] |= 1 << (uint(r) % 64)
+	}
+}
+
+// processBorder runs one border node's Dijkstra and harvests its
+// contributions to every pair.
+func (w *worker) processBorder(bi int) {
+	aug, part, opts := w.aug, w.part, w.opts
+	R, words, directed := w.R, w.words, aug.G.Directed()
+	regbits, regStamp := w.regbits, w.regStamp
+	walkSrc, walkJ := w.walkSrc, w.walkJ
+	accum := w.accum
+	setBits := w.setBits
+	_ = part
+
+	src := aug.Borders[bi].ID
+	tree := graph.Dijkstra(aug.G, src)
+	w.stamp++
+	stamp := w.stamp
+	// Seed the source's own region set.
+	base := int(src) * words
+	for i := 0; i < words; i++ {
+		regbits[base+i] = 0
+	}
+	setBits(regbits[base:base+words], src)
+	regStamp[src] = stamp
+
+	// regsetOf computes (memoized) the union of regions over the path
+	// src→v by walking the parent chain down to a computed node.
+	regsetOf := func(v graph.NodeID) []uint64 {
+		w.chain = w.chain[:0]
+		u := v
+		for regStamp[u] != stamp {
+			w.chain = append(w.chain, u)
+			u = tree.Parent[u]
+			if u == graph.Invalid {
+				break
+			}
+		}
+		for i := len(w.chain) - 1; i >= 0; i-- {
+			c := w.chain[i]
+			cb := int(c) * words
+			if u == graph.Invalid {
+				for i := 0; i < words; i++ {
+					regbits[cb+i] = 0
+				}
+			} else {
+				pb := int(u) * words
+				copy(regbits[cb:cb+words], regbits[pb:pb+words])
+			}
+			setBits(regbits[cb:cb+words], c)
+			regStamp[c] = stamp
+			u = c
+		}
+		vb := int(v) * words
+		return regbits[vb : vb+words]
+	}
+
+	srcRegions := aug.Borders[bi].Regions
+	for j := 0; j < R; j++ {
+		rj := kdtree.RegionID(j)
+		// Collect region bits / edges over all reachable borders of R_j.
+		for i := range accum {
+			accum[i] = 0
+		}
+		any := false
+		var edges []EdgeRef
+		for _, ti := range aug.ByRegion[j] {
+			dst := aug.Borders[ti].ID
+			if dst == src || math.IsInf(tree.Dist[dst], 1) {
+				continue
+			}
+			any = true
+			if opts.Sets {
+				for i, bits := range regsetOf(dst) {
+					accum[i] |= bits
+				}
+			}
+			if opts.Subgraphs {
+				// Walk the parent chain collecting each node's parent
+				// edge, stopping at nodes already walked for this
+				// (source, j) combination — total work stays linear in
+				// the output size.
+				for v := dst; v != src; {
+					u := tree.Parent[v]
+					if u == graph.Invalid {
+						break
+					}
+					if walkSrc[v] == stamp && walkJ[v] == int32(j) {
+						break // remainder of the chain already collected
+					}
+					walkSrc[v] = stamp
+					walkJ[v] = int32(j)
+					e := aug.OrigEdge(u, v)
+					edges = append(edges, EdgeRef{From: e.From, To: e.To, W: e.W})
+					v = u
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		for _, ri := range uniqueRegions(srcRegions) {
+			k := PairIndex(R, directed, ri, rj)
+			if opts.Sets {
+				w.sets[k] = mergeBits(w.sets[k], accum, ri, rj)
+			}
+			if opts.Subgraphs {
+				w.edges[k] = append(w.edges[k], edges...)
+			}
+		}
+	}
+}
+
+// uniqueRegions drops the duplicate when a border's two regions coincide
+// (cannot normally happen, but cheap to guard).
+func uniqueRegions(rs [2]kdtree.RegionID) []kdtree.RegionID {
+	if rs[0] == rs[1] {
+		return rs[:1]
+	}
+	return rs[:]
+}
+
+// mergeBits ORs the accumulated bitset into the sorted region list cur,
+// excluding the endpoints i and j.
+func mergeBits(cur []kdtree.RegionID, bits []uint64, i, j kdtree.RegionID) []kdtree.RegionID {
+	present := map[kdtree.RegionID]bool{}
+	for _, r := range cur {
+		present[r] = true
+	}
+	for w, word := range bits {
+		for word != 0 {
+			b := word & (-word)
+			r := kdtree.RegionID(w*64 + popLSB(word))
+			word &^= b
+			if r != i && r != j && !present[r] {
+				present[r] = true
+				cur = insertSorted(cur, r)
+			}
+		}
+	}
+	return cur
+}
+
+func popLSB(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+func insertSorted(s []kdtree.RegionID, r kdtree.RegionID) []kdtree.RegionID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = r
+	return s
+}
+
+// dedupeRegions sorts and deduplicates a region list assembled from
+// multiple workers' sorted partials.
+func dedupeRegions(s []kdtree.RegionID) []kdtree.RegionID {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	out := s[:1]
+	for _, r := range s[1:] {
+		if r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// dedupeEdges sorts by (From, To) and removes duplicates, keeping the
+// smallest weight for parallel duplicates.
+func dedupeEdges(es []EdgeRef) []EdgeRef {
+	if len(es) == 0 {
+		return nil
+	}
+	sortEdges(es)
+	out := es[:1]
+	for _, e := range es[1:] {
+		last := &out[len(out)-1]
+		if e.From == last.From && e.To == last.To {
+			if e.W < last.W {
+				last.W = e.W
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func sortEdges(es []EdgeRef) {
+	quickSortEdges(es)
+}
+
+func quickSortEdges(es []EdgeRef) {
+	if len(es) < 12 {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+		return
+	}
+	p := es[len(es)/2]
+	l, r := 0, len(es)-1
+	for l <= r {
+		for edgeLess(es[l], p) {
+			l++
+		}
+		for edgeLess(p, es[r]) {
+			r--
+		}
+		if l <= r {
+			es[l], es[r] = es[r], es[l]
+			l++
+			r--
+		}
+	}
+	quickSortEdges(es[:r+1])
+	quickSortEdges(es[l:])
+}
+
+func edgeLess(a, b EdgeRef) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}

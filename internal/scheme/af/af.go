@@ -1,0 +1,372 @@
+// Package af implements the Arc-flag baseline of §4 (Köhler, Möhring &
+// Schilling adapted to the private setting): the network is cut into a small
+// fixed number of regions; every edge carries one flag bit per region, set
+// when the edge lies on some shortest path into that region. Queries expand
+// only edges flagged for the destination region, fetching each region's
+// fixed-size page cluster as the search reaches it, padded to a fixed plan.
+package af
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/border"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/plan"
+	"repro/internal/scheme/base"
+)
+
+// Options configures the build.
+type Options struct {
+	PageSize int
+	// Regions is the Arc-flag region count — the bit-vector length kept
+	// with every edge (the paper's tuning knob; 8 was optimal on
+	// Argentina).
+	Regions int
+	// DeriveQueries / DeriveSeed / SafetyMargin control plan derivation as
+	// in the LM baseline.
+	DeriveQueries int
+	DeriveSeed    int64
+	SafetyMargin  float64
+}
+
+// DefaultOptions matches the paper's tuned Argentina configuration.
+func DefaultOptions() Options {
+	return Options{
+		PageSize:      pagefile.DefaultPageSize,
+		Regions:       8,
+		DeriveQueries: 512,
+		DeriveSeed:    1,
+		SafetyMargin:  1.25,
+	}
+}
+
+// SchemeName identifies AF databases.
+const SchemeName = "AF"
+
+// Build pre-processes the network into an AF database.
+func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = pagefile.DefaultPageSize
+	}
+	if opt.Regions < 1 {
+		return nil, fmt.Errorf("af: region count %d < 1", opt.Regions)
+	}
+	if opt.SafetyMargin < 1 {
+		opt.SafetyMargin = 1
+	}
+	flagBytes := (opt.Regions + 7) / 8
+	codec := &base.RegionCodec{G: g, FlagBytes: flagBytes}
+	part, err := kdtree.BuildFixedRegions(g, codec.SizeFunc(), opt.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("af: partitioning: %w", err)
+	}
+	codec.Part = part
+
+	flags, err := computeFlags(g, part, flagBytes)
+	if err != nil {
+		return nil, err
+	}
+	codec.EdgeFlags = func(from graph.NodeID, adjIdx int) []byte { return flags[from][adjIdx] }
+
+	// Fixed pages per region (§4): the largest region's encoding decides.
+	maxBytes := 0
+	for r := 0; r < part.NumRegions; r++ {
+		if n := len(codec.EncodeRegion(kdtree.RegionID(r))); n > maxBytes {
+			maxBytes = n
+		}
+	}
+	pagesPerRegion := (maxBytes + opt.PageSize - 1) / opt.PageSize
+	fd := pagefile.NewFile(base.FileData, opt.PageSize)
+	firstPage, err := base.BuildRegionData(fd, codec, pagesPerRegion)
+	if err != nil {
+		return nil, fmt.Errorf("af: region data: %w", err)
+	}
+
+	// Plan derivation on a sampled workload, in region clusters.
+	regions, err := decodeAll(fd, part.NumRegions, pagesPerRegion, flagBytes)
+	if err != nil {
+		return nil, err
+	}
+	maxClusters := 2
+	rng := rand.New(rand.NewSource(opt.DeriveSeed))
+	for q := 0; q < opt.DeriveQueries; q++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		t := graph.NodeID(rng.Intn(g.NumNodes()))
+		n, err := simulate(part, regions, flagBytes, g.Directed(), g.Point(s), g.Point(t))
+		if err != nil {
+			return nil, err
+		}
+		if n > maxClusters {
+			maxClusters = n
+		}
+	}
+	maxClusters = int(math.Ceil(float64(maxClusters) * opt.SafetyMargin))
+	if maxClusters > part.NumRegions {
+		maxClusters = part.NumRegions
+	}
+
+	rounds := []plan.Round{{Fetches: []plan.Fetch{{File: base.FileData, Count: 2 * pagesPerRegion}}}}
+	for i := 2; i < maxClusters; i++ {
+		rounds = append(rounds, plan.Round{Fetches: []plan.Fetch{{File: base.FileData, Count: pagesPerRegion}}})
+	}
+	qp := plan.Plan{Rounds: rounds}
+	hdr := &base.Header{
+		Scheme:               SchemeName,
+		Directed:             g.Directed(),
+		NumRegions:           part.NumRegions,
+		Tree:                 part.Tree,
+		RegionFirstPage:      firstPage,
+		ClusterPages:         pagesPerRegion,
+		LookupEntriesPerPage: 1,
+		Plan:                 qp,
+		Params: map[string]int64{
+			base.ParamFlagBy: int64(flagBytes),
+			"maxClusters":    int64(maxClusters),
+		},
+	}
+	return &lbs.Database{
+		Scheme: SchemeName,
+		Header: hdr.Encode(),
+		Files:  []*pagefile.File{fd},
+		Plan:   qp,
+	}, nil
+}
+
+// computeFlags derives, for every half-edge, the bit-vector over regions:
+// bit j is set when the edge lies on some shortest path into region j (or
+// touches region j directly). Computation runs one reverse-graph Dijkstra
+// per border node (§4's pre-computation), with over-flagging on ties —
+// harmless for correctness.
+func computeFlags(g *graph.Graph, part *kdtree.Partition, flagBytes int) ([][][]byte, error) {
+	flags := make([][][]byte, g.NumNodes())
+	for v := range flags {
+		adj := g.Adj(graph.NodeID(v))
+		flags[v] = make([][]byte, len(adj))
+		for i := range flags[v] {
+			flags[v][i] = make([]byte, flagBytes)
+		}
+	}
+	setFlag := func(u graph.NodeID, adjIdx int, region kdtree.RegionID) {
+		flags[u][adjIdx][region/8] |= 1 << (uint(region) % 8)
+	}
+	// Edges touching a region are flagged for it.
+	for u := 0; u < g.NumNodes(); u++ {
+		for i, he := range g.Adj(graph.NodeID(u)) {
+			setFlag(graph.NodeID(u), i, part.RegionOf[u])
+			setFlag(graph.NodeID(u), i, part.RegionOf[he.To])
+		}
+	}
+	aug := border.Build(g, part)
+	rev := aug.G.Reverse()
+	for j := 0; j < part.NumRegions; j++ {
+		for _, bi := range aug.ByRegion[j] {
+			b := aug.Borders[bi]
+			tree := graph.Dijkstra(rev, b.ID)
+			// dist[v] is the shortest v→border distance in the original
+			// graph. Edge (u,v) is on a shortest path toward the border
+			// when dist[v] + w == dist[u].
+			for u := 0; u < g.NumNodes(); u++ {
+				du := tree.Dist[u]
+				if math.IsInf(du, 1) {
+					continue
+				}
+				for i, he := range g.Adj(graph.NodeID(u)) {
+					dv := tree.Dist[he.To]
+					if math.IsInf(dv, 1) {
+						continue
+					}
+					if dv+he.W <= du+1e-9*(1+du) {
+						setFlag(graph.NodeID(u), i, kdtree.RegionID(j))
+					}
+				}
+			}
+		}
+	}
+	// Undirected networks: symmetrize so the client may reuse a page's
+	// flags for the reverse direction (the reverse lives in an unfetched
+	// page otherwise).
+	if !g.Directed() {
+		idx := map[[2]graph.NodeID]int{}
+		for u := 0; u < g.NumNodes(); u++ {
+			for i, he := range g.Adj(graph.NodeID(u)) {
+				idx[[2]graph.NodeID{graph.NodeID(u), he.To}] = i
+			}
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for i, he := range g.Adj(graph.NodeID(u)) {
+				if ri, ok := idx[[2]graph.NodeID{he.To, graph.NodeID(u)}]; ok {
+					for byteIdx := range flags[u][i] {
+						merged := flags[u][i][byteIdx] | flags[he.To][ri][byteIdx]
+						flags[u][i][byteIdx] = merged
+						flags[he.To][ri][byteIdx] = merged
+					}
+				}
+			}
+		}
+	}
+	return flags, nil
+}
+
+func decodeAll(fd *pagefile.File, numRegions, pagesPerRegion, flagBytes int) ([][]base.RegionNode, error) {
+	out := make([][]base.RegionNode, numRegions)
+	for r := 0; r < numRegions; r++ {
+		pages := make([][]byte, pagesPerRegion)
+		for i := range pages {
+			p, err := fd.Page(r*pagesPerRegion + i)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
+		}
+		nodes, err := base.DecodeRegionCluster(pages, 0, flagBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = nodes
+	}
+	return out, nil
+}
+
+type fetchFn func(r kdtree.RegionID, first bool) ([]base.RegionNode, error)
+
+// run executes the client-side AF search: Dijkstra restricted to edges
+// flagged for the destination region, fetching region clusters on demand.
+func run(
+	tree *kdtree.Tree, directed bool,
+	sPt, tPt geom.Point,
+	fetch fetchFn,
+	clusterBudget int,
+) (cost float64, path []graph.NodeID, sNode, tNode graph.NodeID, clusters int, err error) {
+	rs, rt := tree.Locate(sPt), tree.Locate(tPt)
+	cg := base.NewClientGraph(directed)
+	fetched := map[kdtree.RegionID]bool{}
+	get := func(r kdtree.RegionID, first bool) ([]base.RegionNode, error) {
+		nodes, err := fetch(r, first)
+		if err != nil {
+			return nil, err
+		}
+		fetched[r] = true
+		clusters++
+		cg.AddRegionNodes(nodes)
+		return nodes, nil
+	}
+	sNodes, err := get(rs, true)
+	if err != nil {
+		return 0, nil, 0, 0, clusters, err
+	}
+	tNodes, err := get(rt, true)
+	if err != nil {
+		return 0, nil, 0, 0, clusters, err
+	}
+	sNode = cg.Nearest(sPt, sNodes)
+	tNode = cg.Nearest(tPt, tNodes)
+	allow := func(from graph.NodeID, he graph.HalfEdge) bool {
+		fb := cg.EdgeFlags(from, he.To)
+		if fb == nil {
+			return true // unknown flags: be permissive, stay correct
+		}
+		return fb[int(rt)/8]&(1<<(uint(rt)%8)) != 0
+	}
+	var fetchErr error
+	onSettle := func(v graph.NodeID) bool {
+		if cg.Has(v) {
+			return true
+		}
+		r, ok := cg.RegionHint(v)
+		if !ok {
+			fetchErr = fmt.Errorf("af: node %d has no region hint", v)
+			return false
+		}
+		if fetched[r] {
+			return true
+		}
+		if clusters >= clusterBudget {
+			fetchErr = fmt.Errorf("af: cluster budget %d exhausted", clusterBudget)
+			return false
+		}
+		if _, err := get(r, false); err != nil {
+			fetchErr = err
+			return false
+		}
+		return true
+	}
+	cost, path = cg.Search(sNode, tNode, nil, allow, onSettle)
+	return cost, path, sNode, tNode, clusters, fetchErr
+}
+
+func simulate(part *kdtree.Partition, regions [][]base.RegionNode, flagBytes int, directed bool, sPt, tPt geom.Point) (int, error) {
+	_, _, _, _, clusters, err := run(part.Tree, directed, sPt, tPt,
+		func(r kdtree.RegionID, first bool) ([]base.RegionNode, error) { return regions[r], nil },
+		math.MaxInt32)
+	return clusters, err
+}
+
+// Query answers one shortest path query against an AF server.
+func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := srv.Connect()
+	hdr, err := base.DownloadHeader(conn)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Scheme != SchemeName {
+		return nil, fmt.Errorf("af: server hosts %q", hdr.Scheme)
+	}
+	flagBytes := int(hdr.MustParam(base.ParamFlagBy))
+	maxClusters := int(hdr.MustParam("maxClusters"))
+	var tm base.Timer
+
+	firstRound := true
+	fetch := func(r kdtree.RegionID, first bool) ([]base.RegionNode, error) {
+		tm.Stop()
+		if first {
+			if firstRound {
+				conn.BeginRound()
+				firstRound = false
+			}
+		} else {
+			conn.BeginRound()
+		}
+		nodes, err := base.FetchRegionCluster(conn, hdr, base.FileData, r, 0, flagBytes)
+		if err != nil {
+			return nil, err
+		}
+		tm.Start()
+		return nodes, nil
+	}
+	tm.Start()
+	cost, path, sNode, tNode, clusters, err := run(hdr.Tree, hdr.Directed, sPt, tPt, fetch, maxClusters)
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+	for ; clusters < maxClusters; clusters++ {
+		conn.BeginRound()
+		for i := 0; i < hdr.ClusterPages; i++ {
+			if err := base.DummyFetch(conn, base.FileData); err != nil {
+				return nil, err
+			}
+		}
+	}
+	conn.AddClientTime(tm.Total())
+
+	res := &base.Result{
+		Cost:          cost,
+		SnappedSource: sNode,
+		SnappedDest:   tNode,
+		Stats:         conn.Stats(),
+		Trace:         conn.Trace(),
+	}
+	if !math.IsInf(cost, 1) {
+		res.Path = path
+	}
+	if err := conn.ConformsTo(hdr.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,413 @@
+package base
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/pagefile"
+	"repro/internal/precomp"
+)
+
+// Network-index record kinds. CI stores region sets, PI stores subgraphs,
+// HY intermixes both transparently (§6).
+const (
+	KindSetLiteral   = 0
+	KindSetDelta     = 1
+	KindGraphLiteral = 2
+	KindGraphDelta   = 3
+)
+
+// IndexRecord is one decoded network-index record: either a region set
+// (possibly inflated by delta coding, §5.5 — inflation never exceeds m) or
+// an edge subgraph (possibly a superset of the original, which is harmless).
+type IndexRecord struct {
+	Kind  byte // KindSetLiteral/Delta or KindGraphLiteral/Delta (as stored)
+	Set   []kdtree.RegionID
+	Edges []precomp.EdgeRef
+}
+
+// IsSet reports whether the record is a region set.
+func (r IndexRecord) IsSet() bool { return r.Kind == KindSetLiteral || r.Kind == KindSetDelta }
+
+// IndexBuilder forms the network index file F_i with the in-page delta
+// compression of §5.5: each record may reference the already-placed record
+// in the same page with the largest overlap, storing only additions (and,
+// for region sets, exclusions whenever the inflated set would exceed m).
+// References never cross page boundaries — that would cost extra PIR
+// fetches at query time.
+type IndexBuilder struct {
+	packer *pagefile.Packer
+	m      int // CI's inflation cap (max original |S_i,j|)
+
+	ctxPage  int
+	ctxSets  [][]kdtree.RegionID // decoded sets already in the open page, by ordinal
+	ctxEdges [][]precomp.EdgeRef // decoded subgraphs in the open page, by ordinal
+	ctxKinds []byte
+
+	spans    []pagefile.Span
+	ordinals []uint16 // per record: ordinal among records starting in its page
+	perPage  map[int]uint16
+}
+
+// NewIndexBuilder prepares a builder writing into file. m is the inflation
+// cap for compressed region sets; it must be >= the largest set added.
+func NewIndexBuilder(file *pagefile.File, m int) *IndexBuilder {
+	return &IndexBuilder{
+		packer:  pagefile.NewPacker(file),
+		m:       m,
+		ctxPage: -1,
+		perPage: map[int]uint16{},
+	}
+}
+
+// AddSet appends S_i,j. With compress=false a literal is always stored
+// (the CI-C ablation of Figure 9).
+func (b *IndexBuilder) AddSet(set []kdtree.RegionID, compress bool) error {
+	if len(set) > b.m {
+		return fmt.Errorf("base: set of %d regions exceeds m=%d", len(set), b.m)
+	}
+	lit := encodeSetLiteral(set)
+	payload := lit
+	var inflated []kdtree.RegionID
+	kind := byte(KindSetLiteral)
+	if compress {
+		if d, infl, ok := b.bestSetDelta(set); ok && len(d) < len(lit) && 4+len(d) <= b.packer.CurrentFree() {
+			payload, inflated, kind = d, infl, KindSetDelta
+		}
+	}
+	if kind == KindSetLiteral {
+		inflated = set
+	}
+	b.place(payload, kind, inflated, nil)
+	return nil
+}
+
+// AddGraph appends G_i,j. Delta records store the edges missing from the
+// best-overlap reference; the implied inflation (extra real edges) is
+// harmless for correctness and for the query plan (§6).
+func (b *IndexBuilder) AddGraph(edges []precomp.EdgeRef, compress bool) error {
+	lit := encodeGraphLiteral(edges)
+	payload := lit
+	var union []precomp.EdgeRef
+	kind := byte(KindGraphLiteral)
+	if compress {
+		if d, u, ok := b.bestGraphDelta(edges); ok && len(d) < len(lit) && 4+len(d) <= b.packer.CurrentFree() {
+			payload, union, kind = d, u, KindGraphDelta
+		}
+	}
+	if kind == KindGraphLiteral {
+		union = edges
+	}
+	b.place(payload, kind, nil, union)
+	return nil
+}
+
+// place length-prefixes the payload, hands it to the packer and maintains
+// the page-local reference context and per-record ordinals.
+func (b *IndexBuilder) place(payload []byte, kind byte, set []kdtree.RegionID, edges []precomp.EdgeRef) {
+	rec := pagefile.NewEnc(4 + len(payload)).U32(uint32(len(payload))).Raw(payload).Bytes()
+	span := b.packer.Append(rec)
+	b.spans = append(b.spans, span)
+	ord := b.perPage[span.Page]
+	b.perPage[span.Page] = ord + 1
+	b.ordinals = append(b.ordinals, ord)
+
+	switch {
+	case span.Pages > 1:
+		// Large records own their pages; nothing can reference them.
+		b.ctxPage = -1
+		b.ctxSets, b.ctxEdges, b.ctxKinds = nil, nil, nil
+	case span.Page != b.ctxPage:
+		b.ctxPage = span.Page
+		b.ctxSets = [][]kdtree.RegionID{set}
+		b.ctxEdges = [][]precomp.EdgeRef{edges}
+		b.ctxKinds = []byte{kind}
+	default:
+		b.ctxSets = append(b.ctxSets, set)
+		b.ctxEdges = append(b.ctxEdges, edges)
+		b.ctxKinds = append(b.ctxKinds, kind)
+	}
+}
+
+// bestSetDelta picks the same-page reference set with the largest overlap
+// and encodes the delta per §5.5: additions always; exclusions only when
+// |ref| + additions would exceed m, excluding ref-only elements until the
+// inflated result has exactly m elements. Returns the encoded payload and
+// the inflated set the client will reconstruct.
+func (b *IndexBuilder) bestSetDelta(set []kdtree.RegionID) (payload []byte, inflated []kdtree.RegionID, ok bool) {
+	bestRef, bestOverlap := -1, -1
+	for i, ref := range b.ctxSets {
+		if !isSetKind(b.ctxKinds[i]) || ref == nil {
+			continue
+		}
+		if ov := overlapSets(set, ref); ov > bestOverlap {
+			bestOverlap, bestRef = ov, i
+		}
+	}
+	if bestRef < 0 {
+		return nil, nil, false
+	}
+	ref := b.ctxSets[bestRef]
+	inRef := map[kdtree.RegionID]bool{}
+	for _, r := range ref {
+		inRef[r] = true
+	}
+	inSet := map[kdtree.RegionID]bool{}
+	var adds []kdtree.RegionID
+	for _, r := range set {
+		inSet[r] = true
+		if !inRef[r] {
+			adds = append(adds, r)
+		}
+	}
+	var excl []kdtree.RegionID
+	if over := len(ref) + len(adds) - b.m; over > 0 {
+		for _, r := range ref {
+			if len(excl) == over {
+				break
+			}
+			if !inSet[r] {
+				excl = append(excl, r)
+			}
+		}
+		if len(excl) < over {
+			return nil, nil, false // cannot respect m with this reference
+		}
+	}
+	e := pagefile.NewEnc(16 + 2*(len(adds)+len(excl)))
+	e.U8(KindSetDelta)
+	e.U16(uint16(bestRef))
+	e.U16(uint16(len(adds)))
+	e.U16(uint16(len(excl)))
+	for _, r := range adds {
+		e.U16(uint16(r))
+	}
+	for _, r := range excl {
+		e.U16(uint16(r))
+	}
+	// Reconstruct the inflated set: ref ∪ adds − excl.
+	exclSet := map[kdtree.RegionID]bool{}
+	for _, r := range excl {
+		exclSet[r] = true
+	}
+	for _, r := range ref {
+		if !exclSet[r] {
+			inflated = append(inflated, r)
+		}
+	}
+	inflated = append(inflated, adds...)
+	return e.Bytes(), inflated, true
+}
+
+// bestGraphDelta is the §6 analogue for subgraphs: additions only.
+func (b *IndexBuilder) bestGraphDelta(edges []precomp.EdgeRef) (payload []byte, union []precomp.EdgeRef, ok bool) {
+	bestRef, bestOverlap := -1, -1
+	for i, ref := range b.ctxEdges {
+		if isSetKind(b.ctxKinds[i]) || ref == nil {
+			continue
+		}
+		if ov := overlapEdges(edges, ref); ov > bestOverlap {
+			bestOverlap, bestRef = ov, i
+		}
+	}
+	if bestRef < 0 {
+		return nil, nil, false
+	}
+	ref := b.ctxEdges[bestRef]
+	inRef := map[[2]int32]bool{}
+	for _, e := range ref {
+		inRef[[2]int32{int32(e.From), int32(e.To)}] = true
+	}
+	var adds []precomp.EdgeRef
+	for _, e := range edges {
+		if !inRef[[2]int32{int32(e.From), int32(e.To)}] {
+			adds = append(adds, e)
+		}
+	}
+	e := pagefile.NewEnc(8 + 16*len(adds))
+	e.U8(KindGraphDelta)
+	e.U16(uint16(bestRef))
+	e.U32(uint32(len(adds)))
+	for _, a := range adds {
+		e.U32(uint32(a.From))
+		e.U32(uint32(a.To))
+		e.F64(a.W)
+	}
+	union = append(append([]precomp.EdgeRef(nil), ref...), adds...)
+	return e.Bytes(), union, true
+}
+
+// Finish flushes the file and returns, per added record, the page span and
+// the in-page ordinal (which becomes the look-up entry).
+func (b *IndexBuilder) Finish() (spans []pagefile.Span, ordinals []uint16, maxSpanPages int) {
+	b.packer.Flush()
+	return b.spans, b.ordinals, b.packer.MaxSpanPages()
+}
+
+func isSetKind(k byte) bool { return k == KindSetLiteral || k == KindSetDelta }
+
+func encodeSetLiteral(set []kdtree.RegionID) []byte {
+	e := pagefile.NewEnc(4 + 2*len(set))
+	e.U8(KindSetLiteral)
+	e.U16(uint16(len(set)))
+	for _, r := range set {
+		e.U16(uint16(r))
+	}
+	return e.Bytes()
+}
+
+func encodeGraphLiteral(edges []precomp.EdgeRef) []byte {
+	e := pagefile.NewEnc(8 + 16*len(edges))
+	e.U8(KindGraphLiteral)
+	e.U32(uint32(len(edges)))
+	for _, a := range edges {
+		e.U32(uint32(a.From))
+		e.U32(uint32(a.To))
+		e.F64(a.W)
+	}
+	return e.Bytes()
+}
+
+func overlapSets(a, b []kdtree.RegionID) int {
+	in := map[kdtree.RegionID]bool{}
+	for _, r := range b {
+		in[r] = true
+	}
+	n := 0
+	for _, r := range a {
+		if in[r] {
+			n++
+		}
+	}
+	return n
+}
+
+func overlapEdges(a, b []precomp.EdgeRef) int {
+	in := map[[2]int32]bool{}
+	for _, e := range b {
+		in[[2]int32{int32(e.From), int32(e.To)}] = true
+	}
+	n := 0
+	for _, e := range a {
+		if in[[2]int32{int32(e.From), int32(e.To)}] {
+			n++
+		}
+	}
+	return n
+}
+
+// DecodeIndexRecord extracts the record with ordinal recIdx among records
+// starting in pages[offsetPage], resolving same-page delta references. The
+// caller supplies the consecutive pages it fetched (the §5.4 query plan
+// guarantees the window covers the whole record).
+func DecodeIndexRecord(pages [][]byte, offsetPage int, recIdx int) (IndexRecord, error) {
+	if offsetPage < 0 || offsetPage >= len(pages) {
+		return IndexRecord{}, fmt.Errorf("base: record page %d outside fetched window of %d", offsetPage, len(pages))
+	}
+	// Concatenate from the record's first page onward; records never start
+	// mid-window before offsetPage's boundary.
+	var buf []byte
+	for _, p := range pages[offsetPage:] {
+		buf = append(buf, p...)
+	}
+	var sets [][]kdtree.RegionID
+	var edges [][]precomp.EdgeRef
+	d := pagefile.NewDec(buf)
+	for ord := 0; ; ord++ {
+		if d.Remaining() < 4 {
+			return IndexRecord{}, fmt.Errorf("base: record %d not found in page", recIdx)
+		}
+		n := int(d.U32())
+		if n == 0 {
+			return IndexRecord{}, fmt.Errorf("base: record %d not found (page has %d records)", recIdx, ord)
+		}
+		payload := d.Raw(n)
+		if d.Err() != nil {
+			return IndexRecord{}, fmt.Errorf("base: index record decode: %w", d.Err())
+		}
+		rec, err := decodePayload(payload, sets, edges)
+		if err != nil {
+			return IndexRecord{}, err
+		}
+		if ord == recIdx {
+			return rec, nil
+		}
+		sets = append(sets, rec.Set)
+		edges = append(edges, rec.Edges)
+	}
+}
+
+func decodePayload(payload []byte, sets [][]kdtree.RegionID, edges [][]precomp.EdgeRef) (IndexRecord, error) {
+	d := pagefile.NewDec(payload)
+	kind := d.U8()
+	var rec IndexRecord
+	rec.Kind = kind
+	switch kind {
+	case KindSetLiteral:
+		n := int(d.U16())
+		rec.Set = make([]kdtree.RegionID, n)
+		for i := range rec.Set {
+			rec.Set[i] = kdtree.RegionID(d.U16())
+		}
+	case KindSetDelta:
+		ref := int(d.U16())
+		nAdds := int(d.U16())
+		nExcl := int(d.U16())
+		if ref >= len(sets) || sets[ref] == nil {
+			return rec, fmt.Errorf("base: set delta references record %d of %d", ref, len(sets))
+		}
+		adds := make([]kdtree.RegionID, nAdds)
+		for i := range adds {
+			adds[i] = kdtree.RegionID(d.U16())
+		}
+		excl := map[kdtree.RegionID]bool{}
+		for i := 0; i < nExcl; i++ {
+			excl[kdtree.RegionID(d.U16())] = true
+		}
+		for _, r := range sets[ref] {
+			if !excl[r] {
+				rec.Set = append(rec.Set, r)
+			}
+		}
+		rec.Set = append(rec.Set, adds...)
+	case KindGraphLiteral:
+		n := int(d.U32())
+		// The count is untrusted input: bound it by the bytes actually
+		// present (16 per edge) before allocating.
+		if n < 0 || n > d.Remaining()/16 {
+			return rec, fmt.Errorf("base: graph literal claims %d edges, %d bytes remain", n, d.Remaining())
+		}
+		rec.Edges = make([]precomp.EdgeRef, n)
+		for i := range rec.Edges {
+			rec.Edges[i] = decodeEdge(d)
+		}
+	case KindGraphDelta:
+		ref := int(d.U16())
+		nAdds := int(d.U32())
+		if ref >= len(edges) || edges[ref] == nil {
+			return rec, fmt.Errorf("base: graph delta references record %d of %d", ref, len(edges))
+		}
+		if nAdds < 0 || nAdds > d.Remaining()/16 {
+			return rec, fmt.Errorf("base: graph delta claims %d additions, %d bytes remain", nAdds, d.Remaining())
+		}
+		rec.Edges = append(rec.Edges, edges[ref]...)
+		for i := 0; i < nAdds; i++ {
+			rec.Edges = append(rec.Edges, decodeEdge(d))
+		}
+	default:
+		return rec, fmt.Errorf("base: unknown index record kind %d", kind)
+	}
+	if d.Err() != nil {
+		return rec, fmt.Errorf("base: index record decode: %w", d.Err())
+	}
+	return rec, nil
+}
+
+func decodeEdge(d *pagefile.Dec) precomp.EdgeRef {
+	return precomp.EdgeRef{
+		From: graph.NodeID(d.U32()),
+		To:   graph.NodeID(d.U32()),
+		W:    d.F64(),
+	}
+}

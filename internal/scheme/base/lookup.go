@@ -1,0 +1,64 @@
+package base
+
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// LookupEntry locates one network-index record: the F_i page where the
+// record starts, and its ordinal among the records beginning in that page.
+// F_l is a dense index over F_i sorted on composite key (i,j) (§5.3); pages
+// are packed, so a division maps a pair index straight to its F_l page.
+type LookupEntry struct {
+	Page     uint32
+	RecIndex uint16
+}
+
+// LookupEntrySize is the on-page footprint of one entry.
+const LookupEntrySize = 6
+
+// LookupEntriesPerPage returns how many entries one F_l page holds.
+func LookupEntriesPerPage(pageSize int) int { return pageSize / LookupEntrySize }
+
+// BuildLookup packs entries (in pair-index order) into file.
+func BuildLookup(file *pagefile.File, entries []LookupEntry) error {
+	per := LookupEntriesPerPage(file.PageSize())
+	if per == 0 {
+		return fmt.Errorf("base: page size %d below a single look-up entry", file.PageSize())
+	}
+	for start := 0; start < len(entries); start += per {
+		end := start + per
+		if end > len(entries) {
+			end = len(entries)
+		}
+		e := pagefile.NewEnc((end - start) * LookupEntrySize)
+		for _, le := range entries[start:end] {
+			e.U32(le.Page)
+			e.U16(le.RecIndex)
+		}
+		if _, err := file.AppendPage(e.Bytes()); err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 { // keep the file non-empty so PIR metadata is sane
+		if _, err := file.AppendPage(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupPageFor returns the F_l page that holds the entry of pairIdx.
+func LookupPageFor(pairIdx, entriesPerPage int) int { return pairIdx / entriesPerPage }
+
+// ParseLookupEntry extracts pairIdx's entry from its F_l page.
+func ParseLookupEntry(pageData []byte, pairIdx, entriesPerPage int) (LookupEntry, error) {
+	off := (pairIdx % entriesPerPage) * LookupEntrySize
+	if off+LookupEntrySize > len(pageData) {
+		return LookupEntry{}, fmt.Errorf("base: look-up entry %d beyond page", pairIdx)
+	}
+	d := pagefile.NewDec(pageData[off : off+LookupEntrySize])
+	le := LookupEntry{Page: d.U32(), RecIndex: d.U16()}
+	return le, d.Err()
+}

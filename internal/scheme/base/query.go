@@ -1,0 +1,119 @@
+package base
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+)
+
+// Standard header parameter keys shared by the schemes.
+const (
+	ParamM        = "m"        // CI: max |S_i,j| (page quota of the F_d round)
+	ParamMaxSpan  = "maxSpan"  // max pages spanned by an index record
+	ParamIdxPages = "idxPages" // page count of the index file (for the §5.4 boundary case)
+	ParamLMDim    = "lmDim"    // LM: landmark vector dimension
+	ParamFlagBy   = "flagBy"   // AF: flag bytes per half-edge
+	ParamRound4   = "round4"   // HY: page quota of round 4
+	ParamFiPart   = "fiPart"   // HY: pages of the F_i part inside the combined file
+	ParamCompact  = "compact"  // 1 = compact region-data layout (§8 extension)
+)
+
+// Result is a completed private shortest path query.
+type Result struct {
+	// Path is the node sequence (original network IDs); empty when the
+	// destination is unreachable.
+	Path []graph.NodeID
+	Cost float64
+	// SnappedSource/Dest are the network nodes the query coordinates were
+	// snapped to.
+	SnappedSource, SnappedDest graph.NodeID
+	Stats                      lbs.Stats
+	// Trace is the adversary-visible access transcript of this query
+	// (Theorem 1: identical for every query of a scheme).
+	Trace string
+}
+
+// Found reports whether a path exists.
+func (r *Result) Found() bool { return len(r.Path) > 0 }
+
+// Timer accumulates client-side computation time, excluding the (simulated)
+// PIR and communication costs that the Conn accounts separately.
+type Timer struct {
+	start time.Time
+	total time.Duration
+}
+
+// Start begins a client-computation section.
+func (t *Timer) Start() { t.start = time.Now() }
+
+// Stop ends the section.
+func (t *Timer) Stop() { t.total += time.Since(t.start) }
+
+// Total returns the accumulated client time.
+func (t *Timer) Total() time.Duration { return t.total }
+
+// DownloadHeader runs round 1: the full header comes straight from the LBS
+// (no PIR — it is identical for every client, §5.3).
+func DownloadHeader(conn *lbs.Conn) (*Header, error) {
+	return DecodeHeader(conn.DownloadHeader())
+}
+
+// FetchIndexWindow fetches exactly maxSpan consecutive pages of the index
+// file, positioned so the window both stays inside the file and covers the
+// record at entry.Page (footnote 5's boundary-case rule). It returns the
+// pages and the offset of entry.Page within the window.
+func FetchIndexWindow(conn *lbs.Conn, file string, entry LookupEntry, maxSpan, filePages int) ([][]byte, int, error) {
+	start := int(entry.Page)
+	if start > filePages-maxSpan {
+		start = filePages - maxSpan
+	}
+	if start < 0 {
+		start = 0
+	}
+	pages := make([][]byte, 0, maxSpan)
+	for i := 0; i < maxSpan && start+i < filePages; i++ {
+		p, err := conn.Fetch(file, start+i)
+		if err != nil {
+			return nil, 0, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, int(entry.Page) - start, nil
+}
+
+// FetchRegionCluster retrieves all ClusterPages pages of a region from the
+// named file and decodes its nodes. The record layout (compact or not) is
+// read from the header's ParamCompact.
+func FetchRegionCluster(conn *lbs.Conn, hdr *Header, file string, r kdtree.RegionID, lmDim, flagBytes int) ([]RegionNode, error) {
+	if int(r) >= len(hdr.RegionFirstPage) {
+		return nil, fmt.Errorf("base: region %d out of range", r)
+	}
+	first := int(hdr.RegionFirstPage[r])
+	pages := make([][]byte, hdr.ClusterPages)
+	for i := 0; i < hdr.ClusterPages; i++ {
+		p, err := conn.Fetch(file, first+i)
+		if err != nil {
+			return nil, err
+		}
+		pages[i] = p
+	}
+	return DecodeRegionClusterMode(pages, lmDim, flagBytes, hdr.Params[ParamCompact] == 1)
+}
+
+// DummyFetch performs one plan-padding retrieval (§3.1: "the protocol pads
+// its requests with dummy page retrievals"). The page index is arbitrary —
+// the PIR layer hides it — so page 0 is used.
+func DummyFetch(conn *lbs.Conn, file string) error {
+	_, err := conn.Fetch(file, 0)
+	return err
+}
+
+// LocatePair maps the query endpoints to their host regions via the
+// header's KD-tree (round 1 client-side work).
+func LocatePair(hdr *Header, s, t geom.Point) (kdtree.RegionID, kdtree.RegionID) {
+	return hdr.Tree.Locate(s), hdr.Tree.Locate(t)
+}

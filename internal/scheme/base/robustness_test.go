@@ -1,0 +1,75 @@
+package base
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The client decodes pages served by the (curious but honest) LBS; still,
+// decoders must never panic on malformed bytes — storage corruption should
+// surface as errors, not crashes. These adversarial-input properties feed
+// random and mutated buffers through every decoder.
+
+func TestDecodeHeaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeHeader(data) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHeaderMutatedRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	enc := h.Encode()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		mut := append([]byte(nil), enc...)
+		// Random byte flips and truncations.
+		switch rng.Intn(3) {
+		case 0:
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		default:
+			mut = append(mut, byte(rng.Intn(256)))
+		}
+		_, _ = DecodeHeader(mut) // must not panic
+	}
+}
+
+func TestDecodeRegionNeverPanics(t *testing.T) {
+	f := func(data []byte, lmDim, flagBytes uint8) bool {
+		_, _ = DecodeRegion(data, int(lmDim%8), int(flagBytes%4))
+		_, _ = DecodeRegionMode(data, int(lmDim%8), int(flagBytes%4), true)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIndexRecordNeverPanics(t *testing.T) {
+	f := func(page []byte, recIdx uint8) bool {
+		if len(page) == 0 {
+			return true
+		}
+		_, _ = DecodeIndexRecord([][]byte{page}, 0, int(recIdx%8))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLookupEntryNeverPanics(t *testing.T) {
+	f := func(page []byte, pairIdx uint16) bool {
+		_, _ = ParseLookupEntry(page, int(pairIdx), LookupEntriesPerPage(4096))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package ci
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+	"repro/internal/precomp"
+)
+
+// truncateSets implements the approximate variant (§8 future work): every
+// S_i,j keeps only the ceil(factor·|S|) regions whose centroids lie nearest
+// the straight corridor between R_i's and R_j's centroids. Shortest paths
+// hug that corridor on spatially embedded networks, so the dropped regions
+// are the ones least likely to carry the path. MaxSetSize is recomputed.
+func truncateSets(g *graph.Graph, part *kdtree.Partition, pre *precomp.Result, factor float64) {
+	centroids := regionCentroids(g, part)
+	maxSize := 0
+	np := precomp.NumPairs(pre.NumRegions, pre.Directed)
+	for k := 0; k < np; k++ {
+		set := pre.Sets[k]
+		keep := int(math.Ceil(factor * float64(len(set))))
+		if keep >= len(set) {
+			if len(set) > maxSize {
+				maxSize = len(set)
+			}
+			continue
+		}
+		i, j := precomp.PairFromIndex(pre.NumRegions, pre.Directed, k)
+		a, b := centroids[i], centroids[j]
+		sorted := append([]kdtree.RegionID(nil), set...)
+		sort.Slice(sorted, func(x, y int) bool {
+			return distToSegment(centroids[sorted[x]], a, b) < distToSegment(centroids[sorted[y]], a, b)
+		})
+		kept := sorted[:keep]
+		sort.Slice(kept, func(x, y int) bool { return kept[x] < kept[y] })
+		pre.Sets[k] = kept
+		if keep > maxSize {
+			maxSize = keep
+		}
+	}
+	pre.MaxSetSize = maxSize
+}
+
+// regionCentroids averages each region's node coordinates.
+func regionCentroids(g *graph.Graph, part *kdtree.Partition) []geom.Point {
+	out := make([]geom.Point, part.NumRegions)
+	for r, nodes := range part.Members {
+		var cx, cy float64
+		for _, v := range nodes {
+			p := g.Point(v)
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(nodes))
+		if n > 0 {
+			out[r] = geom.Point{X: cx / n, Y: cy / n}
+		}
+	}
+	return out
+}
+
+// distToSegment is the Euclidean distance from p to segment a–b.
+func distToSegment(p, a, b geom.Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return p.Dist(geom.Point{X: a.X + t*abx, Y: a.Y + t*aby})
+}
+
+// ApproxQuality summarizes the empirical damage of an approximate build
+// over a sampled workload: how often a path was found at all, and the mean
+// and worst cost ratio against the exact shortest path. The paper's future
+// work asks for bounded deviation; this measures the achieved one.
+type ApproxQuality struct {
+	Queries       int
+	Found         int
+	MeanDeviation float64 // mean of cost/optimal over found queries
+	MaxDeviation  float64 // worst cost/optimal
+}
+
+// String renders the quality report.
+func (q ApproxQuality) String() string {
+	return fmt.Sprintf("found %d/%d, mean deviation %.4fx, max %.4fx",
+		q.Found, q.Queries, q.MeanDeviation, q.MaxDeviation)
+}
+
+// EvaluateApproximation runs a sampled workload against an (approximate) CI
+// server and compares every answer with exact Dijkstra on the full network.
+func EvaluateApproximation(srv *lbs.Server, g *graph.Graph, queries int, seed int64) (ApproxQuality, error) {
+	rng := rand.New(rand.NewSource(seed))
+	q := ApproxQuality{Queries: queries, MeanDeviation: 0, MaxDeviation: 1}
+	sum := 0.0
+	for i := 0; i < queries; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		t := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(t))
+		if err != nil {
+			return q, err
+		}
+		opt := graph.ShortestPath(g, s, t)
+		if !opt.Found() {
+			continue // nothing to compare
+		}
+		if !res.Found() {
+			continue // miss: counted by Found < Queries
+		}
+		q.Found++
+		ratio := res.Cost / opt.Cost
+		if opt.Cost == 0 {
+			ratio = 1
+		}
+		sum += ratio
+		if ratio > q.MaxDeviation {
+			q.MaxDeviation = ratio
+		}
+	}
+	if q.Found > 0 {
+		q.MeanDeviation = sum / float64(q.Found)
+	}
+	return q, nil
+}

@@ -1,0 +1,108 @@
+package ci
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+	"repro/internal/scheme/base"
+)
+
+func TestApproxShrinksPlanAndStaysClose(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.15)
+	exact, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.ApproxFactor = 0.5
+	approx, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFd := exact.Plan.TotalFetches(base.FileData)
+	approxFd := approx.Plan.TotalFetches(base.FileData)
+	if approxFd >= exactFd {
+		t.Errorf("approximate plan fetches %d Fd pages, exact %d; truncation should shrink m", approxFd, exactFd)
+	}
+
+	srv, err := lbs.NewServer(approx, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := EvaluateApproximation(srv, g, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("approx factor 0.5: plan Fd %d->%d; %s", exactFd, approxFd, q)
+	if q.Found < q.Queries*3/4 {
+		t.Errorf("only %d/%d queries answered; corridor truncation too aggressive", q.Found, q.Queries)
+	}
+	if q.MaxDeviation > 2.0 {
+		t.Errorf("max deviation %.3fx; expected mild suboptimality", q.MaxDeviation)
+	}
+	if q.MeanDeviation > 1.2 {
+		t.Errorf("mean deviation %.3fx too high", q.MeanDeviation)
+	}
+}
+
+func TestApproxFactorOneIsExact(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.08)
+	opt := DefaultOptions()
+	opt.ApproxFactor = 1
+	db, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Plan.String() != exact.Plan.String() {
+		t.Error("factor 1 changed the plan")
+	}
+}
+
+func TestApproxFactorValidation(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.03)
+	opt := DefaultOptions()
+	opt.ApproxFactor = 1.5
+	if _, err := Build(g, opt); err == nil {
+		t.Error("factor > 1 accepted")
+	}
+	opt.ApproxFactor = -0.1
+	if _, err := Build(g, opt); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestApproxIndistinguishability(t *testing.T) {
+	// Approximation must not weaken privacy: the plan is still fixed.
+	g := gen.GeneratePreset(gen.Oldenburg, 0.1)
+	opt := DefaultOptions()
+	opt.ApproxFactor = 0.4
+	db, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref string
+	for i := 0; i < 12; i++ {
+		res, err := Query(srv, g.Point(graph0(i*11%g.NumNodes())), g.Point(graph0((i*29+3)%g.NumNodes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.Trace
+		} else if res.Trace != ref {
+			t.Fatalf("approximate query %d trace differs", i)
+		}
+	}
+}
+
+func graph0(i int) graph.NodeID { return graph.NodeID(i) }

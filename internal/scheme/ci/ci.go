@@ -1,0 +1,271 @@
+// Package ci implements the Concise Index scheme of §5: the database
+// comprises a header (F_h), a dense look-up file (F_l), a network index
+// (F_i) holding the S_i,j region sets, and a region-data file (F_d) with one
+// page per packed KD-tree region. Every query runs four rounds — header,
+// one F_l page, maxSpan F_i pages, and m+2 F_d pages — so all queries are
+// indistinguishable (Theorem 1).
+package ci
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/border"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/plan"
+	"repro/internal/precomp"
+	"repro/internal/scheme/base"
+)
+
+// Options configures the build.
+type Options struct {
+	// PageSize defaults to pagefile.DefaultPageSize.
+	PageSize int
+	// Packed selects the §5.6 packed partitioning; false reproduces the
+	// CI-P ablation of Figure 8.
+	Packed bool
+	// Compress enables the §5.5 index compression; false reproduces CI-C.
+	Compress bool
+	// ApproxFactor in (0, 1) enables the approximate variant the paper
+	// names as future work (§8): every S_i,j is truncated to
+	// ceil(factor·|S_i,j|) regions, keeping those nearest the corridor
+	// between the two region centroids. This shrinks m — and with it the
+	// dominant F_d round — at the price of occasionally suboptimal (or,
+	// rarely, missed) paths; EvaluateApproximation measures the damage.
+	// 0 or 1 means exact (the paper's CI).
+	ApproxFactor float64
+	// CompactData switches the region-data file to the losslessly
+	// compressed record layout (the paper's other §8 future-work
+	// direction). Fully transparent to queries.
+	CompactData bool
+}
+
+// DefaultOptions is the full-fledged CI of the experiments.
+func DefaultOptions() Options {
+	return Options{PageSize: pagefile.DefaultPageSize, Packed: true, Compress: true}
+}
+
+// SchemeName identifies CI databases.
+const SchemeName = "CI"
+
+// Build pre-processes the network into a CI database.
+func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = pagefile.DefaultPageSize
+	}
+	codec := &base.RegionCodec{G: g, Compact: opt.CompactData}
+	var (
+		part *kdtree.Partition
+		err  error
+	)
+	if opt.Packed {
+		part, err = kdtree.BuildPacked(g, codec.SizeFunc(), opt.PageSize)
+	} else {
+		part, err = kdtree.BuildPlain(g, codec.SizeFunc(), opt.PageSize)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ci: partitioning: %w", err)
+	}
+	codec.Part = part
+
+	aug := border.Build(g, part)
+	pre, err := precomp.Compute(aug, part, precomp.Options{Sets: true})
+	if err != nil {
+		return nil, fmt.Errorf("ci: pre-computation: %w", err)
+	}
+	if opt.ApproxFactor < 0 || opt.ApproxFactor > 1 {
+		return nil, fmt.Errorf("ci: approx factor %v outside [0,1]", opt.ApproxFactor)
+	}
+	if opt.ApproxFactor > 0 && opt.ApproxFactor < 1 {
+		truncateSets(g, part, pre, opt.ApproxFactor)
+	}
+	m := pre.MaxSetSize
+	if m == 0 {
+		m = 1 // degenerate single-region networks still need a valid plan
+	}
+
+	fd := pagefile.NewFile(base.FileData, opt.PageSize)
+	firstPage, err := base.BuildRegionData(fd, codec, 1)
+	if err != nil {
+		return nil, fmt.Errorf("ci: region data: %w", err)
+	}
+
+	fi := pagefile.NewFile(base.FileIndex, opt.PageSize)
+	ib := base.NewIndexBuilder(fi, m)
+	np := precomp.NumPairs(part.NumRegions, g.Directed())
+	for k := 0; k < np; k++ {
+		if err := ib.AddSet(pre.Sets[k], opt.Compress); err != nil {
+			return nil, fmt.Errorf("ci: index pair %d: %w", k, err)
+		}
+	}
+	spans, ords, maxSpan := ib.Finish()
+
+	fl := pagefile.NewFile(base.FileLookup, opt.PageSize)
+	entries := make([]base.LookupEntry, np)
+	for k := range entries {
+		entries[k] = base.LookupEntry{Page: uint32(spans[k].Page), RecIndex: ords[k]}
+	}
+	if err := base.BuildLookup(fl, entries); err != nil {
+		return nil, fmt.Errorf("ci: look-up: %w", err)
+	}
+
+	qp := plan.Plan{Rounds: []plan.Round{
+		{Fetches: []plan.Fetch{{File: base.FileLookup, Count: 1}}},
+		{Fetches: []plan.Fetch{{File: base.FileIndex, Count: maxSpan}}},
+		{Fetches: []plan.Fetch{{File: base.FileData, Count: m + 2}}},
+	}}
+	hdr := &base.Header{
+		Scheme:               SchemeName,
+		Directed:             g.Directed(),
+		NumRegions:           part.NumRegions,
+		Tree:                 part.Tree,
+		RegionFirstPage:      firstPage,
+		ClusterPages:         1,
+		LookupEntriesPerPage: base.LookupEntriesPerPage(opt.PageSize),
+		Plan:                 qp,
+		Params: map[string]int64{
+			base.ParamM:        int64(m),
+			base.ParamMaxSpan:  int64(maxSpan),
+			base.ParamIdxPages: int64(fi.NumPages()),
+			base.ParamCompact:  boolParam(opt.CompactData),
+		},
+	}
+	return &lbs.Database{
+		Scheme: SchemeName,
+		Header: hdr.Encode(),
+		Files:  []*pagefile.File{fl, fi, fd},
+		Plan:   qp,
+	}, nil
+}
+
+// boolParam encodes a build flag as a header parameter.
+func boolParam(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Query answers one private shortest path query against a CI server. The
+// access pattern follows the public plan exactly, padding with dummy
+// retrievals, regardless of the endpoints.
+func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := srv.Connect()
+	var tm base.Timer
+
+	// Round 1: header.
+	hdr, err := base.DownloadHeader(conn)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Scheme != SchemeName {
+		return nil, fmt.Errorf("ci: server hosts %q", hdr.Scheme)
+	}
+	tm.Start()
+	rs, rt := base.LocatePair(hdr, sPt, tPt)
+	pairIdx := precomp.PairIndex(hdr.NumRegions, hdr.Directed, rs, rt)
+	m := int(hdr.MustParam(base.ParamM))
+	maxSpan := int(hdr.MustParam(base.ParamMaxSpan))
+	idxPages := int(hdr.MustParam(base.ParamIdxPages))
+	tm.Stop()
+
+	// Round 2: one look-up page.
+	conn.BeginRound()
+	lpage, err := conn.Fetch(base.FileLookup, base.LookupPageFor(pairIdx, hdr.LookupEntriesPerPage))
+	if err != nil {
+		return nil, err
+	}
+	tm.Start()
+	entry, err := base.ParseLookupEntry(lpage, pairIdx, hdr.LookupEntriesPerPage)
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: maxSpan consecutive index pages.
+	conn.BeginRound()
+	pages, off, err := base.FetchIndexWindow(conn, base.FileIndex, entry, maxSpan, idxPages)
+	if err != nil {
+		return nil, err
+	}
+	tm.Start()
+	rec, err := base.DecodeIndexRecord(pages, off, int(entry.RecIndex))
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+	if !rec.IsSet() {
+		return nil, fmt.Errorf("ci: index record is not a region set")
+	}
+	if len(rec.Set) > m {
+		return nil, fmt.Errorf("ci: inflated set of %d regions exceeds m=%d", len(rec.Set), m)
+	}
+
+	// Round 4: exactly m+2 region-data pages — R_s, R_t, the regions of
+	// S_s,t, and dummies up to the quota.
+	conn.BeginRound()
+	cg := base.NewClientGraph(hdr.Directed)
+	var sNodes, tNodes []base.RegionNode
+	fetchRegion := func(r kdtree.RegionID) ([]base.RegionNode, error) {
+		nodes, err := base.FetchRegionCluster(conn, hdr, base.FileData, r, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		tm.Start()
+		cg.AddRegionNodes(nodes)
+		tm.Stop()
+		return nodes, nil
+	}
+	if sNodes, err = fetchRegion(rs); err != nil {
+		return nil, err
+	}
+	if tNodes, err = fetchRegion(rt); err != nil {
+		return nil, err
+	}
+	fetched := 2
+	for _, r := range rec.Set {
+		if r == rs || r == rt { // inflation may re-list the endpoints
+			if err := base.DummyFetch(conn, base.FileData); err != nil {
+				return nil, err
+			}
+			fetched++
+			continue
+		}
+		if _, err := fetchRegion(r); err != nil {
+			return nil, err
+		}
+		fetched++
+	}
+	for ; fetched < m+2; fetched++ {
+		if err := base.DummyFetch(conn, base.FileData); err != nil {
+			return nil, err
+		}
+	}
+
+	// Client-side: snap and solve.
+	tm.Start()
+	sNode := cg.Nearest(sPt, sNodes)
+	tNode := cg.Nearest(tPt, tNodes)
+	cost, path := cg.Dijkstra(sNode, tNode)
+	tm.Stop()
+	conn.AddClientTime(tm.Total())
+
+	res := &base.Result{
+		Cost:          cost,
+		SnappedSource: sNode,
+		SnappedDest:   tNode,
+		Stats:         conn.Stats(),
+		Trace:         conn.Trace(),
+	}
+	if !math.IsInf(cost, 1) {
+		res.Path = path
+	}
+	if err := conn.ConformsTo(hdr.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package ci
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+)
+
+// TestDirectedNetwork exercises §3.1's general case: E contains directed
+// edges with asymmetric weights. The pair index switches to the full R²
+// numbering and the client graph stops mirroring edges.
+func TestDirectedNetwork(t *testing.T) {
+	und := gen.GeneratePreset(gen.Oldenburg, 0.08)
+	g := graph.Directize(und, 0.3)
+	db, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	asymSeen := false
+	for trial := 0; trial < 25; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd := graph.ShortestPath(g, s, d)
+		if math.Abs(res.Cost-fwd.Cost) > 1e-9 {
+			t.Fatalf("trial %d (s=%d t=%d): CI %v, want %v", trial, s, d, res.Cost, fwd.Cost)
+		}
+		if rev := graph.ShortestPath(g, d, s); math.Abs(rev.Cost-fwd.Cost) > 1e-9 {
+			asymSeen = true
+		}
+	}
+	if !asymSeen {
+		t.Error("workload never exercised asymmetric costs; Directize broken?")
+	}
+}
+
+// TestDirectedIndistinguishability confirms the fixed plan also holds on
+// directed networks.
+func TestDirectedIndistinguishability(t *testing.T) {
+	g := graph.Directize(gen.GeneratePreset(gen.Oldenburg, 0.06), 0.2)
+	db, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	var ref string
+	for trial := 0; trial < 15; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = res.Trace
+		} else if res.Trace != ref {
+			t.Fatalf("directed trial %d trace differs", trial)
+		}
+	}
+}

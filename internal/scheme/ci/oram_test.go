@@ -1,0 +1,48 @@
+package ci
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+)
+
+// TestEndToEndOverRealORAM runs complete CI queries with every file served
+// through actual oblivious storage rather than the analytic simulation:
+// answers must be identical, and the privacy now rests on real mechanics
+// (encrypted, shuffled pages) instead of modelling assumptions.
+func TestEndToEndOverRealORAM(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.06)
+	db, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, factory := range map[string]lbs.StoreFactory{
+		"sqrt-ORAM":    lbs.ORAMStores(42),
+		"pyramid-ORAM": lbs.PyramidStores(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			srv, err := lbs.NewServer(db, costmodel.Default(), factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(44))
+			for trial := 0; trial < 6; trial++ {
+				s := graph.NodeID(rng.Intn(g.NumNodes()))
+				d := graph.NodeID(rng.Intn(g.NumNodes()))
+				res, err := Query(srv, g.Point(s), g.Point(d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := graph.ShortestPath(g, s, d)
+				if math.Abs(res.Cost-want.Cost) > 1e-9 {
+					t.Fatalf("trial %d over %s: cost %v, want %v", trial, name, res.Cost, want.Cost)
+				}
+			}
+		})
+	}
+}

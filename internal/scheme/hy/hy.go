@@ -1,0 +1,346 @@
+// Package hy implements the Hybrid scheme of §6: region sets S_i,j whose
+// cardinality exceeds a threshold are replaced by their subgraph G_i,j
+// counterparts, trading index space for response time between CI and PI.
+//
+// Crucially, the network index and the region data are concatenated into a
+// single physical file F_c: if they were separate, the adversary could count
+// per-file accesses and learn whether a query was answered via a set or a
+// subgraph, narrowing down the possible source–destination regions (§6).
+// Every query fetches one F_l page, then r pages of F_c (round 3), then a
+// fixed quota of F_c pages (round 4), dummy-padded either way.
+package hy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/border"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/kdtree"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/plan"
+	"repro/internal/precomp"
+	"repro/internal/scheme/base"
+)
+
+// Options configures the build.
+type Options struct {
+	PageSize int
+	// Threshold is the cardinality cap: every S_i,j with more regions than
+	// this is replaced by G_i,j (Figure 10's tuning knob).
+	Threshold int
+	// Compress enables §5.5/§6 delta compression of index records.
+	Compress bool
+}
+
+// DefaultOptions uses a mid-range threshold.
+func DefaultOptions() Options {
+	return Options{PageSize: pagefile.DefaultPageSize, Threshold: 40, Compress: true}
+}
+
+// SchemeName identifies HY databases.
+const SchemeName = "HY"
+
+// Build pre-processes the network into an HY database.
+func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = pagefile.DefaultPageSize
+	}
+	if opt.Threshold < 1 {
+		return nil, fmt.Errorf("hy: threshold %d < 1", opt.Threshold)
+	}
+	codec := &base.RegionCodec{G: g}
+	part, err := kdtree.BuildPacked(g, codec.SizeFunc(), opt.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("hy: partitioning: %w", err)
+	}
+	codec.Part = part
+
+	aug := border.Build(g, part)
+	pre, err := precomp.Compute(aug, part, precomp.Options{Sets: true, Subgraphs: true})
+	if err != nil {
+		return nil, fmt.Errorf("hy: pre-computation: %w", err)
+	}
+	np := precomp.NumPairs(part.NumRegions, g.Directed())
+
+	// Replacement: any set larger than the threshold becomes a subgraph.
+	// m' is the largest remaining set (the inflation cap for compression).
+	asGraph := make([]bool, np)
+	mPrime := 1
+	for k := 0; k < np; k++ {
+		if len(pre.Sets[k]) > opt.Threshold {
+			asGraph[k] = true
+		} else if len(pre.Sets[k]) > mPrime {
+			mPrime = len(pre.Sets[k])
+		}
+	}
+
+	// Combined file: index records first, then region pages.
+	fc := pagefile.NewFile(base.FileCombined, opt.PageSize)
+	ib := base.NewIndexBuilder(fc, mPrime)
+	for k := 0; k < np; k++ {
+		if asGraph[k] {
+			err = ib.AddGraph(pre.Subgraphs[k], opt.Compress)
+		} else {
+			err = ib.AddSet(pre.Sets[k], opt.Compress)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hy: index pair %d: %w", k, err)
+		}
+	}
+	spans, ords, _ := ib.Finish()
+	fiPart := fc.NumPages()
+	firstPage, err := base.BuildRegionData(fc, codec, 1)
+	if err != nil {
+		return nil, fmt.Errorf("hy: region data: %w", err)
+	}
+
+	// r: the §6 round-3 width — the widest span among *set* records.
+	r := 1
+	for k := 0; k < np; k++ {
+		if !asGraph[k] && spans[k].Pages > r {
+			r = spans[k].Pages
+		}
+	}
+	// Round-4 quota: sets need up to m'+2 pages; subgraphs need their pages
+	// beyond what round 3 already covered, plus the two region pages.
+	quota := mPrime + 2
+	for k := 0; k < np; k++ {
+		if !asGraph[k] {
+			continue
+		}
+		off := windowOffset(int(spans[k].Page), r, fiPart)
+		if extra := spans[k].Pages - (r - off); extra > 0 {
+			if extra+2 > quota {
+				quota = extra + 2
+			}
+		}
+	}
+
+	fl := pagefile.NewFile(base.FileLookup, opt.PageSize)
+	entries := make([]base.LookupEntry, np)
+	for k := range entries {
+		entries[k] = base.LookupEntry{Page: uint32(spans[k].Page), RecIndex: ords[k]}
+	}
+	if err := base.BuildLookup(fl, entries); err != nil {
+		return nil, fmt.Errorf("hy: look-up: %w", err)
+	}
+
+	qp := plan.Plan{Rounds: []plan.Round{
+		{Fetches: []plan.Fetch{{File: base.FileLookup, Count: 1}}},
+		{Fetches: []plan.Fetch{{File: base.FileCombined, Count: r}}},
+		{Fetches: []plan.Fetch{{File: base.FileCombined, Count: quota}}},
+	}}
+	hdr := &base.Header{
+		Scheme:               SchemeName,
+		Directed:             g.Directed(),
+		NumRegions:           part.NumRegions,
+		Tree:                 part.Tree,
+		RegionFirstPage:      firstPage,
+		ClusterPages:         1,
+		LookupEntriesPerPage: base.LookupEntriesPerPage(opt.PageSize),
+		Plan:                 qp,
+		Params: map[string]int64{
+			base.ParamM:        int64(mPrime),
+			base.ParamMaxSpan:  int64(r),
+			base.ParamIdxPages: int64(fc.NumPages()),
+			base.ParamRound4:   int64(quota),
+			base.ParamFiPart:   int64(fiPart),
+		},
+	}
+	return &lbs.Database{
+		Scheme: SchemeName,
+		Header: hdr.Encode(),
+		Files:  []*pagefile.File{fl, fc},
+		Plan:   qp,
+	}, nil
+}
+
+// windowOffset mirrors the client's round-3 clamping: the fetch window must
+// stay inside the index part of the combined file.
+func windowOffset(entryPage, r, fiPart int) int {
+	start := entryPage
+	if start > fiPart-r {
+		start = fiPart - r
+	}
+	if start < 0 {
+		start = 0
+	}
+	return entryPage - start
+}
+
+// Query answers one private shortest path query against an HY server.
+func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := srv.Connect()
+	var tm base.Timer
+
+	hdr, err := base.DownloadHeader(conn)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Scheme != SchemeName {
+		return nil, fmt.Errorf("hy: server hosts %q", hdr.Scheme)
+	}
+	tm.Start()
+	rs, rt := base.LocatePair(hdr, sPt, tPt)
+	pairIdx := precomp.PairIndex(hdr.NumRegions, hdr.Directed, rs, rt)
+	r := int(hdr.MustParam(base.ParamMaxSpan))
+	quota := int(hdr.MustParam(base.ParamRound4))
+	fiPart := int(hdr.MustParam(base.ParamFiPart))
+	tm.Stop()
+
+	// Round 2: look-up entry.
+	conn.BeginRound()
+	lpage, err := conn.Fetch(base.FileLookup, base.LookupPageFor(pairIdx, hdr.LookupEntriesPerPage))
+	if err != nil {
+		return nil, err
+	}
+	tm.Start()
+	entry, err := base.ParseLookupEntry(lpage, pairIdx, hdr.LookupEntriesPerPage)
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: exactly r consecutive pages of the combined file, covering
+	// at least the head of the record.
+	conn.BeginRound()
+	off := windowOffset(int(entry.Page), r, fiPart)
+	start := int(entry.Page) - off
+	window := make([][]byte, 0, r)
+	for i := 0; i < r; i++ {
+		p, err := conn.Fetch(base.FileCombined, start+i)
+		if err != nil {
+			return nil, err
+		}
+		window = append(window, p)
+	}
+
+	// Peek the record's total length to know whether round 4 must fetch
+	// continuation pages (only multi-page subgraph records need this).
+	tm.Start()
+	recPages, have, total, err := recordPages(window, off, int(entry.RecIndex), hdr, fiPart, int(entry.Page))
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 4: continuation pages, the two region pages, dummy padding.
+	conn.BeginRound()
+	fetched := 0
+	for i := have; i < total; i++ {
+		p, err := conn.Fetch(base.FileCombined, int(entry.Page)+i)
+		if err != nil {
+			return nil, err
+		}
+		recPages = append(recPages, p)
+		fetched++
+	}
+	tm.Start()
+	rec, err := base.DecodeIndexRecord(recPages, 0, int(entry.RecIndex))
+	tm.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	cg := base.NewClientGraph(hdr.Directed)
+	fetchRegion := func(rg kdtree.RegionID) ([]base.RegionNode, error) {
+		nodes, err := base.FetchRegionCluster(conn, hdr, base.FileCombined, rg, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		tm.Start()
+		cg.AddRegionNodes(nodes)
+		tm.Stop()
+		return nodes, nil
+	}
+	sNodes, err := fetchRegion(rs)
+	if err != nil {
+		return nil, err
+	}
+	tNodes, err := fetchRegion(rt)
+	if err != nil {
+		return nil, err
+	}
+	fetched += 2
+	if rec.IsSet() {
+		for _, rg := range rec.Set {
+			if rg == rs || rg == rt {
+				if err := base.DummyFetch(conn, base.FileCombined); err != nil {
+					return nil, err
+				}
+				fetched++
+				continue
+			}
+			if _, err := fetchRegion(rg); err != nil {
+				return nil, err
+			}
+			fetched++
+		}
+	} else {
+		tm.Start()
+		cg.AddSubgraphEdges(rec.Edges)
+		tm.Stop()
+	}
+	for ; fetched < quota; fetched++ {
+		if err := base.DummyFetch(conn, base.FileCombined); err != nil {
+			return nil, err
+		}
+	}
+	if fetched > quota {
+		return nil, fmt.Errorf("hy: query needed %d round-4 pages, plan allows %d", fetched, quota)
+	}
+
+	tm.Start()
+	sNode := cg.Nearest(sPt, sNodes)
+	tNode := cg.Nearest(tPt, tNodes)
+	cost, path := cg.Dijkstra(sNode, tNode)
+	tm.Stop()
+	conn.AddClientTime(tm.Total())
+
+	res := &base.Result{
+		Cost:          cost,
+		SnappedSource: sNode,
+		SnappedDest:   tNode,
+		Stats:         conn.Stats(),
+		Trace:         conn.Trace(),
+	}
+	if !math.IsInf(cost, 1) {
+		res.Path = path
+	}
+	if err := conn.ConformsTo(hdr.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recordPages slices the round-3 window down to the record's own pages and
+// reports how many pages of the record we already have and how many it
+// spans in total.
+func recordPages(window [][]byte, off, recIdx int, hdr *base.Header, fiPart, entryPage int) (pages [][]byte, have, total int, err error) {
+	ps := len(window[0])
+	pages = append(pages, window[off:]...)
+	have = len(pages)
+	// Small records (ordinal addressing) always fit in their single page.
+	// A multi-page record starts at its page boundary with ordinal 0; its
+	// length prefix tells the full span.
+	d := pagefile.NewDec(pages[0])
+	n := int(d.U32())
+	if d.Err() != nil {
+		return nil, 0, 0, d.Err()
+	}
+	total = (4 + n + ps - 1) / ps
+	if total <= 1 || recIdx > 0 {
+		total = 1
+	}
+	if have > total {
+		pages = pages[:total]
+		have = total
+	}
+	if entryPage+total > fiPart {
+		return nil, 0, 0, fmt.Errorf("hy: record overruns the index part")
+	}
+	return pages, have, total, nil
+}

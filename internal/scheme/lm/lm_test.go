@@ -1,0 +1,107 @@
+package lm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+	"repro/internal/scheme/base"
+)
+
+func buildServer(t *testing.T, opt Options) (*graph.Graph, *lbs.Server) {
+	t.Helper()
+	g := gen.GeneratePreset(gen.Oldenburg, 0.1)
+	db, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, srv
+}
+
+func TestQueryMatchesDijkstra(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SafetyMargin = 2 // sampled plan must cover the test workload
+	g, srv := buildServer(t, opt)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ShortestPath(g, s, d)
+		if math.Abs(res.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d (s=%d t=%d): LM %v, want %v", trial, s, d, res.Cost, want.Cost)
+		}
+		if got := graph.PathCost(g, res.Path); math.Abs(got-res.Cost) > 1e-9 {
+			t.Fatalf("invalid path: %v vs %v", got, res.Cost)
+		}
+	}
+}
+
+func TestIndistinguishability(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SafetyMargin = 2
+	g, srv := buildServer(t, opt)
+	rng := rand.New(rand.NewSource(43))
+	var ref string
+	for trial := 0; trial < 20; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = res.Trace
+		} else if res.Trace != ref {
+			t.Fatalf("trial %d trace differs:\n%s\nvs\n%s", trial, res.Trace, ref)
+		}
+	}
+}
+
+func TestPlanQuotaPadsShortQueries(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SafetyMargin = 2
+	g, srv := buildServer(t, opt)
+	// A trivial nearby query must cost exactly as much as the plan says.
+	res, err := Query(srv, g.Point(0), g.Point(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Fetches[base.FileData]; got != srv.Database().Plan.TotalFetches(base.FileData) {
+		t.Errorf("short query fetched %d pages, plan demands %d", got, srv.Database().Plan.TotalFetches(base.FileData))
+	}
+}
+
+func TestMoreLandmarksBiggerDatabase(t *testing.T) {
+	// Figure 5(b): storage grows with the landmark count.
+	g := gen.GeneratePreset(gen.Oldenburg, 0.1)
+	small, err := Build(g, Options{PageSize: 4096, Landmarks: 2, DeriveQueries: 64, DeriveSeed: 1, SafetyMargin: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(g, Options{PageSize: 4096, Landmarks: 16, DeriveQueries: 64, DeriveSeed: 1, SafetyMargin: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalBytes() <= small.TotalBytes() {
+		t.Errorf("16 landmarks (%d B) should need more space than 2 (%d B)", big.TotalBytes(), small.TotalBytes())
+	}
+}
+
+func TestRejectsZeroLandmarks(t *testing.T) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.05)
+	if _, err := Build(g, Options{PageSize: 4096, Landmarks: 0}); err == nil {
+		t.Error("zero landmarks accepted")
+	}
+}

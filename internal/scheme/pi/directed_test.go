@@ -1,0 +1,67 @@
+package pi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+)
+
+// TestDirectedNetwork: PI on directed, asymmetric-weight networks (§3.1's
+// general case). Subgraph records carry directed original edges.
+func TestDirectedNetwork(t *testing.T) {
+	g := graph.Directize(gen.GeneratePreset(gen.Oldenburg, 0.08), 0.3)
+	db, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ShortestPath(g, s, d)
+		if math.Abs(res.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d (s=%d t=%d): PI %v, want %v", trial, s, d, res.Cost, want.Cost)
+		}
+	}
+}
+
+// TestDirectedClusteredNetwork: the PI* variant on directed networks.
+func TestDirectedClusteredNetwork(t *testing.T) {
+	g := graph.Directize(gen.GeneratePreset(gen.Oldenburg, 0.06), 0.15)
+	opt := DefaultOptions()
+	opt.ClusterPages = 2
+	db, err := Build(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lbs.NewServer(db, costmodel.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := Query(srv, g.Point(s), g.Point(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ShortestPath(g, s, d)
+		if math.Abs(res.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: PI* %v, want %v", trial, res.Cost, want.Cost)
+		}
+	}
+}

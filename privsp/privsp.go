@@ -1,0 +1,342 @@
+// Package privsp is the public API of the reproduction of Mouratidis & Yiu,
+// "Shortest Path Computation with No Information Leakage" (PVLDB 5(8),
+// 2012). It computes shortest paths on road networks hosted by an untrusted
+// location-based service such that the service learns nothing about the
+// query — not the source, destination, path, length, or even whether two
+// queries are identical.
+//
+// Typical use:
+//
+//	net := privsp.Generate(privsp.Oldenburg, 0.1, 1)       // or LoadEdgeList
+//	db, _ := privsp.Build(net, privsp.Config{Scheme: privsp.CI})
+//	srv, _ := privsp.Serve(db)
+//	res, _ := srv.ShortestPath(privsp.Point{X: 3, Y: 4}, privsp.Point{X: 40, Y: 38})
+//	fmt.Println(res.Cost, res.Stats.Response())
+//
+// Four strongly private schemes are provided — CI (small database, more PIR
+// page fetches), PI (one-page-fast queries, huge index), HY (tunable hybrid)
+// and PIStar (clustered PI, tunable) — plus the weaker baselines the paper
+// compares against (LM, AF and the obfuscation scheme OBF).
+package privsp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+	"repro/internal/netio"
+	"repro/internal/scheme/af"
+	"repro/internal/scheme/base"
+	"repro/internal/scheme/ci"
+	"repro/internal/scheme/hy"
+	"repro/internal/scheme/lm"
+	"repro/internal/scheme/obf"
+	"repro/internal/scheme/pi"
+)
+
+// Point is a Euclidean location on the road network.
+type Point = geom.Point
+
+// NodeID identifies a network node.
+type NodeID = graph.NodeID
+
+// Network is a weighted road network.
+type Network struct {
+	G *graph.Graph
+}
+
+// Preset names one of the paper's Table 1 road networks.
+type Preset = gen.Preset
+
+// The six Table 1 networks.
+const (
+	Oldenburg    = gen.Oldenburg
+	Germany      = gen.Germany
+	Argentina    = gen.Argentina
+	Denmark      = gen.Denmark
+	India        = gen.India
+	NorthAmerica = gen.NorthAmerica
+)
+
+// Generate synthesizes a preset network at the given scale in (0, 1]; see
+// DESIGN.md on how the synthetic networks match the paper's datasets.
+func Generate(p Preset, scale float64, seed int64) *Network {
+	spec := gen.PresetSpec(p, scale)
+	spec.Seed = seed
+	return &Network{G: gen.Generate(spec)}
+}
+
+// LoadNetwork parses a road network from the plain two-file edge-list
+// format the original datasets use ("id x y" node lines, "id from to
+// weight" edge lines); see internal/netio for the grammar.
+func LoadNetwork(nodes, edges io.Reader) (*Network, error) {
+	g, err := netio.ReadNetwork(nodes, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{G: g}, nil
+}
+
+// SaveNetwork writes the network in the same two-file format.
+func (n *Network) SaveNetwork(nodes, edges io.Writer) error {
+	return netio.WriteNetwork(n.G, nodes, edges)
+}
+
+// NewNetwork starts an empty undirected network for manual construction.
+func NewNetwork() *Network { return &Network{G: graph.NewUndirected()} }
+
+// AddNode appends a node and returns its ID. Coordinates must be unique per
+// axis for exact coordinate→region mapping.
+func (n *Network) AddNode(p Point) NodeID { return n.G.AddNode(p) }
+
+// AddRoad inserts an undirected road segment of the given positive cost.
+func (n *Network) AddRoad(u, v NodeID, cost float64) error { return n.G.AddEdge(u, v, cost) }
+
+// NumNodes returns |V|.
+func (n *Network) NumNodes() int { return n.G.NumNodes() }
+
+// NumEdges returns |E|.
+func (n *Network) NumEdges() int { return n.G.NumEdges() }
+
+// NodePoint returns the coordinates of a node.
+func (n *Network) NodePoint(v NodeID) Point { return n.G.Point(v) }
+
+// Scheme selects a private shortest path scheme or baseline.
+type Scheme string
+
+// The schemes of the paper (§5, §6) and its baselines (§4, §7.3).
+const (
+	CI     Scheme = "CI"
+	PI     Scheme = "PI"
+	PIStar Scheme = "PI*"
+	HY     Scheme = "HY"
+	LM     Scheme = "LM"
+	AF     Scheme = "AF"
+	OBF    Scheme = "OBF"
+)
+
+// Config selects and tunes a scheme.
+type Config struct {
+	Scheme   Scheme
+	PageSize int // 0 = 4 KB (Table 2)
+
+	// Packed / Compress default to true; setting the Disable* fields
+	// reproduces the paper's ablations (CI-P, CI-C, PI-P, PI-C; Fig. 8–9).
+	DisablePacking     bool
+	DisableCompression bool
+
+	// ClusterPages tunes PIStar (pages per region, ≥ 2).
+	ClusterPages int
+	// Threshold tunes HY (max |S_i,j| kept as a region set).
+	Threshold int
+	// Landmarks tunes LM (anchor count).
+	Landmarks int
+	// Regions tunes AF (arc-flag bits per edge).
+	Regions int
+	// SetSize tunes OBF (|S| = |T|).
+	SetSize int
+	// Seed drives any randomized build step (plan derivation, decoys).
+	Seed int64
+
+	// ApproxFactor in (0,1) enables CI's approximate variant (§8 future
+	// work): region sets truncated toward the source–destination corridor,
+	// shrinking the query plan at the cost of occasional suboptimality.
+	ApproxFactor float64
+	// CompactData enables the losslessly compressed region-data layout
+	// (§8 future work) for CI, PI and PIStar.
+	CompactData bool
+}
+
+// Database is a built, servable database.
+type Database struct {
+	cfg Config
+	db  *lbs.Database // nil for OBF
+	net *Network      // retained for OBF only
+}
+
+// Build pre-processes a network under the chosen scheme.
+func Build(n *Network, cfg Config) (*Database, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	switch cfg.Scheme {
+	case CI:
+		opt := ci.DefaultOptions()
+		opt.PageSize = pageSize(cfg)
+		opt.Packed = !cfg.DisablePacking
+		opt.Compress = !cfg.DisableCompression
+		opt.ApproxFactor = cfg.ApproxFactor
+		opt.CompactData = cfg.CompactData
+		db, err := ci.Build(n.G, opt)
+		return wrap(cfg, db, err)
+	case PI, PIStar:
+		opt := pi.DefaultOptions()
+		opt.PageSize = pageSize(cfg)
+		opt.Packed = !cfg.DisablePacking
+		opt.Compress = !cfg.DisableCompression
+		opt.CompactData = cfg.CompactData
+		if cfg.Scheme == PIStar {
+			if cfg.ClusterPages < 2 {
+				cfg.ClusterPages = 2
+			}
+			opt.ClusterPages = cfg.ClusterPages
+		}
+		db, err := pi.Build(n.G, opt)
+		return wrap(cfg, db, err)
+	case HY:
+		opt := hy.DefaultOptions()
+		opt.PageSize = pageSize(cfg)
+		opt.Compress = !cfg.DisableCompression
+		if cfg.Threshold > 0 {
+			opt.Threshold = cfg.Threshold
+		}
+		db, err := hy.Build(n.G, opt)
+		return wrap(cfg, db, err)
+	case LM:
+		opt := lm.DefaultOptions()
+		opt.PageSize = pageSize(cfg)
+		if cfg.Landmarks > 0 {
+			opt.Landmarks = cfg.Landmarks
+		}
+		opt.DeriveSeed = cfg.Seed
+		db, err := lm.Build(n.G, opt)
+		return wrap(cfg, db, err)
+	case AF:
+		opt := af.DefaultOptions()
+		opt.PageSize = pageSize(cfg)
+		if cfg.Regions > 0 {
+			opt.Regions = cfg.Regions
+		}
+		opt.DeriveSeed = cfg.Seed
+		db, err := af.Build(n.G, opt)
+		return wrap(cfg, db, err)
+	case OBF:
+		return &Database{cfg: cfg, net: n}, nil
+	default:
+		return nil, fmt.Errorf("privsp: unknown scheme %q", cfg.Scheme)
+	}
+}
+
+func wrap(cfg Config, db *lbs.Database, err error) (*Database, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Database{cfg: cfg, db: db}, nil
+}
+
+func pageSize(cfg Config) int {
+	if cfg.PageSize > 0 {
+		return cfg.PageSize
+	}
+	return costmodel.Default().PageSize
+}
+
+// TotalBytes reports the database size (the space metric of the paper's
+// evaluation).
+func (d *Database) TotalBytes() int64 {
+	if d.db != nil {
+		return d.db.TotalBytes()
+	}
+	bytes := int64(0)
+	if d.net != nil {
+		srv, err := obf.NewServer(d.net.G, costmodel.Default(), obfOptions(d.cfg))
+		if err == nil {
+			bytes = srv.DatabaseBytes()
+		}
+	}
+	return bytes
+}
+
+// Plan renders the public query plan (empty for OBF, which has none).
+func (d *Database) Plan() string {
+	if d.db == nil {
+		return ""
+	}
+	return d.db.Plan.String()
+}
+
+// Scheme returns the database's scheme.
+func (d *Database) Scheme() Scheme { return d.cfg.Scheme }
+
+// PlanPIRAccesses returns the fixed number of PIR page retrievals every
+// query performs (0 for OBF, which has no fixed plan).
+func (d *Database) PlanPIRAccesses() int {
+	if d.db == nil {
+		return 0
+	}
+	return d.db.Plan.TotalPIRAccesses()
+}
+
+func obfOptions(cfg Config) obf.Options {
+	opt := obf.DefaultOptions()
+	opt.PageSize = pageSize(cfg)
+	if cfg.SetSize > 0 {
+		opt.SetSize = cfg.SetSize
+	}
+	opt.Seed = cfg.Seed
+	return opt
+}
+
+// Server answers shortest path queries on a built database under the
+// simulated deployment of §7.1 (IBM 4764 SCP, Table 2 disk and 3G link).
+type Server struct {
+	cfg    Config
+	lbsSrv *lbs.Server
+	obfSrv *obf.Server
+}
+
+// Serve hosts a database with the default cost model.
+func Serve(d *Database) (*Server, error) {
+	return ServeWithModel(d, costmodel.Default())
+}
+
+// ServeWithModel hosts a database with a custom cost model.
+func ServeWithModel(d *Database, model costmodel.Params) (*Server, error) {
+	if d.cfg.Scheme == OBF {
+		srv, err := obf.NewServer(d.net.G, model, obfOptions(d.cfg))
+		if err != nil {
+			return nil, err
+		}
+		return &Server{cfg: d.cfg, obfSrv: srv}, nil
+	}
+	srv, err := lbs.NewServer(d.db, model, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: d.cfg, lbsSrv: srv}, nil
+}
+
+// Result is the outcome of one query.
+type Result = base.Result
+
+// Stats carries the response-time components of Table 3.
+type Stats = lbs.Stats
+
+// ShortestPath runs one private query from s to t (arbitrary coordinates;
+// they are snapped to the nearest node of their host regions).
+func (s *Server) ShortestPath(src, dst Point) (*Result, error) {
+	switch s.cfg.Scheme {
+	case CI:
+		return ci.Query(s.lbsSrv, src, dst)
+	case PI, PIStar:
+		return pi.Query(s.lbsSrv, src, dst)
+	case HY:
+		return hy.Query(s.lbsSrv, src, dst)
+	case LM:
+		return lm.Query(s.lbsSrv, src, dst)
+	case AF:
+		return af.Query(s.lbsSrv, src, dst)
+	case OBF:
+		return s.obfSrv.Query(src, dst)
+	default:
+		return nil, fmt.Errorf("privsp: unknown scheme %q", s.cfg.Scheme)
+	}
+}
+
+// CostModel returns the Table 2 parameters in force for documentation and
+// what-if tuning.
+func CostModel() costmodel.Params { return costmodel.Default() }
