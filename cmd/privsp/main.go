@@ -9,6 +9,13 @@
 //	privsp plan     -preset Oldenburg -scale 0.1 -scheme HY -threshold 20
 //	privsp query    -preset Oldenburg -scale 0.1 -scheme PI -s 3 -t 99
 //	privsp audit    -preset Oldenburg -scale 0.1 -scheme CI
+//
+// With -remote, query and stats run against a privspd daemon instead of an
+// in-process server (the network must still be generated locally to map
+// node ids to coordinates):
+//
+//	privsp query -remote localhost:7465 -db CI -preset Oldenburg -scale 0.05 -s 3 -t 99
+//	privsp stats -remote localhost:7465
 package main
 
 import (
@@ -39,8 +46,30 @@ func main() {
 	setSize := fs.Int("setsize", 0, "OBF |S|=|T|")
 	srcNode := fs.Int("s", 0, "query source node id")
 	dstNode := fs.Int("t", 1, "query destination node id")
+	remote := fs.String("remote", "", "privspd daemon address; query/stats run over the wire")
+	database := fs.String("db", "", "remote database name (empty = the daemon's sole database)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+
+	if cmd == "stats" {
+		if *remote == "" {
+			fatal(fmt.Errorf("stats needs -remote"))
+		}
+		rsrv, err := privsp.DialDatabase(*remote, *database)
+		if err != nil {
+			fatal(err)
+		}
+		defer rsrv.Close()
+		st, err := rsrv.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("conns: %d active, %d total\n", st.ActiveConns, st.TotalConns)
+		for _, db := range st.Databases {
+			fmt.Printf("%s (%s): %d queries, %d PIR pages served\n", db.Name, db.Scheme, db.Queries, db.PagesServed)
+		}
+		return
 	}
 
 	p, ok := presetByName(*preset)
@@ -105,13 +134,28 @@ func main() {
 			fmt.Println("  (queries are distinguishable — expected only for OBF)")
 		}
 	case "query":
-		db, err := privsp.Build(net, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		srv, err := privsp.Serve(db)
-		if err != nil {
-			fatal(err)
+		var srv privsp.PathService
+		if *remote != "" {
+			rsrv, err := privsp.DialDatabase(*remote, *database)
+			if err != nil {
+				fatal(err)
+			}
+			defer rsrv.Close()
+			if rsrv.Scheme() == "" {
+				fatal(fmt.Errorf("daemon at %s hosts several databases; pick one with -db", *remote))
+			}
+			fmt.Printf("remote %s hosting %s (%s)\n", *remote, rsrv.Database(), rsrv.Scheme())
+			srv = rsrv
+		} else {
+			db, err := privsp.Build(net, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			lsrv, err := privsp.Serve(db)
+			if err != nil {
+				fatal(err)
+			}
+			srv = lsrv
 		}
 		if *srcNode >= net.NumNodes() || *dstNode >= net.NumNodes() {
 			fatal(fmt.Errorf("node ids must be below %d", net.NumNodes()))
@@ -128,6 +172,9 @@ func main() {
 		fmt.Printf("simulated response %.2fs (PIR %.2fs, comm %.2fs, client %.4fs, server %.2fs)\n",
 			res.Stats.Response().Seconds(), res.Stats.PIR.Seconds(), res.Stats.Comm.Seconds(),
 			res.Stats.Client.Seconds(), res.Stats.Server.Seconds())
+		if rsrv, ok := srv.(*privsp.RemoteServer); ok {
+			fmt.Printf("server-observed trace (adversarial view):\n%s", rsrv.ServerTrace())
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -152,6 +199,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: privsp <generate|build|plan|query|audit> [flags]
-run "privsp <cmd> -h" for flags`)
+	fmt.Fprintln(os.Stderr, `usage: privsp <generate|build|plan|query|audit|stats> [flags]
+run "privsp <cmd> -h" for flags; query and stats accept -remote <addr>`)
 }

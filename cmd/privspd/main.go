@@ -1,0 +1,173 @@
+// Command privspd is the networked LBS daemon: it builds (or loads) a road
+// network, pre-processes it under one or more privacy schemes, and serves
+// the resulting databases over TCP with the wire protocol of internal/wire.
+// Remote clients connect with privsp.Dial (or privsp query -remote) and run
+// the multi-round PIR protocol; the daemon observes only the public query
+// plan's access pattern.
+//
+// Usage:
+//
+//	privspd -listen :7465 -preset Oldenburg -scale 0.05 -schemes CI,PI,HY
+//	privspd -listen :7465 -nodes oldb.nodes -edges oldb.edges -schemes CI
+//
+// Each scheme is hosted as a database named after it; clients select one
+// with privsp.DialDatabase (or take the sole database when only one scheme
+// is served). SIGINT/SIGTERM trigger a graceful shutdown that waits for
+// in-flight sessions.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/server"
+	"repro/privsp"
+)
+
+func main() {
+	listen := flag.String("listen", ":7465", "TCP listen address")
+	preset := flag.String("preset", "Oldenburg", "network preset (Oldenburg, Germany, Argentina, Denmark, India, NorthAmerica)")
+	scale := flag.Float64("scale", 0.05, "network scale in (0,1]")
+	seed := flag.Int64("seed", 1, "generator / build seed")
+	nodesFile := flag.String("nodes", "", "node file ('id x y' lines); overrides -preset together with -edges")
+	edgesFile := flag.String("edges", "", "edge file ('id from to weight' lines)")
+	schemes := flag.String("schemes", "CI", "comma-separated schemes to host: CI, PI, PI*, HY, LM, AF")
+	pageSize := flag.Int("page", 0, "page size in bytes (0 = Table 2 default)")
+	threshold := flag.Int("threshold", 0, "HY threshold")
+	cluster := flag.Int("cluster", 0, "PI* cluster pages")
+	landmarks := flag.Int("landmarks", 0, "LM anchors")
+	regions := flag.Int("regions", 0, "AF regions")
+	workers := flag.Int("workers", 0, "max concurrent PIR page reads (0 = 2x GOMAXPROCS)")
+	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
+	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("")
+
+	net, desc, err := loadNetwork(*preset, *scale, *seed, *nodesFile, *edgesFile)
+	if err != nil {
+		log.Fatalf("privspd: %v", err)
+	}
+	log.Printf("privspd: network %s: %d nodes, %d edges", desc, net.NumNodes(), net.NumEdges())
+
+	srv := server.New(server.Options{Workers: *workers, Logf: log.Printf})
+	hosted := 0
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg := privsp.Config{
+			Scheme:       privsp.Scheme(name),
+			PageSize:     *pageSize,
+			Threshold:    *threshold,
+			ClusterPages: *cluster,
+			Landmarks:    *landmarks,
+			Regions:      *regions,
+			Seed:         *seed,
+		}
+		if cfg.Scheme == privsp.OBF {
+			log.Fatalf("privspd: OBF has no PIR database and cannot be served remotely")
+		}
+		start := time.Now()
+		db, err := privsp.Build(net, cfg)
+		if err != nil {
+			log.Fatalf("privspd: building %s: %v", name, err)
+		}
+		if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+			log.Fatalf("privspd: hosting %s: %v", name, err)
+		}
+		log.Printf("privspd: hosted %s: %.2f MB, plan %s (built in %v)",
+			name, float64(db.TotalBytes())/(1<<20), db.Plan(), time.Since(start).Round(time.Millisecond))
+		hosted++
+	}
+	if hosted == 0 {
+		log.Fatal("privspd: no schemes to host")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *statsEvery > 0 {
+		go logStats(ctx, srv, *statsEvery)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("privspd: serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("privspd: shutting down (draining for up to %v)", *shutdownWait)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("privspd: forced shutdown: %v", err)
+		}
+		printStats(srv)
+	}
+}
+
+func loadNetwork(preset string, scale float64, seed int64, nodesFile, edgesFile string) (*privsp.Network, string, error) {
+	if (nodesFile == "") != (edgesFile == "") {
+		return nil, "", fmt.Errorf("-nodes and -edges must be given together")
+	}
+	if nodesFile != "" {
+		nf, err := os.Open(nodesFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer nf.Close()
+		ef, err := os.Open(edgesFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer ef.Close()
+		net, err := privsp.LoadNetwork(nf, ef)
+		return net, nodesFile, err
+	}
+	for _, p := range []privsp.Preset{
+		privsp.Oldenburg, privsp.Germany, privsp.Argentina,
+		privsp.Denmark, privsp.India, privsp.NorthAmerica,
+	} {
+		if strings.EqualFold(p.String(), preset) {
+			return privsp.Generate(p, scale, seed), fmt.Sprintf("%s@%.3f", p, scale), nil
+		}
+	}
+	return nil, "", fmt.Errorf("unknown preset %q", preset)
+}
+
+func logStats(ctx context.Context, srv *server.Server, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			printStats(srv)
+		}
+	}
+}
+
+func printStats(srv *server.Server) {
+	st := srv.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "privspd: conns %d active / %d total", st.ActiveConns, st.TotalConns)
+	for _, db := range st.Databases {
+		fmt.Fprintf(&b, " | %s: %d queries, %d pages", db.Name, db.Queries, db.Pages)
+	}
+	log.Print(b.String())
+}

@@ -3,8 +3,8 @@
 // shortest path schemes on road networks where the location-based service
 // learns nothing about the queries it answers.
 //
-// The public API lives in the privsp subpackage; DESIGN.md documents the
-// architecture and EXPERIMENTS.md the reproduction of the paper's
-// evaluation. The benchmarks in bench_test.go regenerate every table and
-// figure (see also cmd/experiments).
+// The public API lives in the privsp subpackage; README.md documents the
+// architecture, including the networked deployment (cmd/privspd daemon and
+// privsp.Dial remote client). The benchmarks in bench_test.go regenerate
+// every table and figure (see also cmd/experiments).
 package repro

@@ -1,0 +1,341 @@
+// Package client is the remote side of the networked LBS: it speaks the
+// internal/wire protocol to a privspd daemon and implements lbs.Service, so
+// the exact same scheme query code that drives an in-process lbs.Server
+// drives a server across the network. One Client is one TCP connection and
+// runs one query at a time; concurrent queries use one Client each.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/wire"
+)
+
+// Options tunes a connection.
+type Options struct {
+	// Database selects a hosted database by name; empty selects the
+	// daemon's sole database.
+	Database string
+	// MaxFrame bounds accepted frames; 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds the TCP connect; 0 means 10 s.
+	DialTimeout time.Duration
+}
+
+// Client is a connection to a privspd daemon, bound to one database by the
+// Hello/Welcome handshake.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	maxFrame int
+
+	scheme   string
+	database string
+	files    map[string]lbs.FileInfo
+	model    costmodel.Params
+
+	inQuery bool
+	err     error // fatal transport error; latched
+}
+
+// Dial connects and performs the handshake.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.DefaultMaxFrame
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		maxFrame: opts.MaxFrame,
+	}
+	hello := wire.Hello{Version: wire.ProtocolVersion, Database: opts.Database}
+	if err := c.send(wire.MsgHello, hello.Encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, err := c.expect(wire.MsgWelcome)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.scheme = w.Scheme
+	c.database = w.Database
+	c.model = w.Model
+	c.files = make(map[string]lbs.FileInfo, len(w.Files))
+	for _, f := range w.Files {
+		c.files[f.Name] = f
+	}
+	return c, nil
+}
+
+// Scheme returns the hosted database's scheme name.
+func (c *Client) Scheme() string { return c.scheme }
+
+// Database returns the name the daemon resolved the Hello to.
+func (c *Client) Database() string { return c.database }
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = errors.New("client: closed")
+	}
+	return c.conn.Close()
+}
+
+// send writes one frame and flushes.
+func (c *Client) send(t wire.MsgType, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return fmt.Errorf("client: write %s: %w", t, err)
+	}
+	return c.bw.Flush()
+}
+
+// serverError is a request the daemon rejected. The byte stream stays in
+// sync, so the connection remains usable for further queries.
+type serverError struct{ text string }
+
+func (e *serverError) Error() string { return "client: server: " + e.text }
+
+// latch records fatal (transport / framing) errors so every later call
+// fails fast; server-side rejections pass through without latching.
+func (c *Client) latch(err error) error {
+	var se *serverError
+	if err != nil && !errors.As(err, &se) && c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// expect reads the next frame, unwrapping server-reported errors.
+func (c *Client) expect(want wire.MsgType) ([]byte, error) {
+	t, payload, err := wire.ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("client: read: %w", err)
+	}
+	if t == wire.MsgError {
+		if em, derr := wire.DecodeErrorMsg(payload); derr == nil {
+			return nil, &serverError{text: em.Text}
+		}
+		return nil, errors.New("client: server reported an undecodable error")
+	}
+	if t != want {
+		return nil, fmt.Errorf("client: expected %s, got %s", want, t)
+	}
+	return payload, nil
+}
+
+// Connect starts a query session; the returned Conn drives the scheme's
+// protocol over the wire. Client implements lbs.Service through it.
+func (c *Client) Connect() *lbs.Conn {
+	return lbs.NewConn(&remote{c: c})
+}
+
+// EndQuery closes the open query session and returns the trace the server
+// observed for it — the adversarial view of the query just run.
+func (c *Client) EndQuery() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return "", c.err
+	}
+	if !c.inQuery {
+		return "", errors.New("client: no open query")
+	}
+	c.inQuery = false
+	if err := c.send(wire.MsgEndQuery, nil); err != nil {
+		return "", c.latch(err)
+	}
+	payload, err := c.expect(wire.MsgQueryDone)
+	if err != nil {
+		return "", c.latch(err)
+	}
+	done, err := wire.DecodeQueryDone(payload)
+	if err != nil {
+		return "", c.latch(err)
+	}
+	return done.Trace, nil
+}
+
+// AbandonQuery drops an open query session without completing it. Nothing
+// goes over the wire: the next query's BeginQuery makes the server discard
+// the partial state, which it neither records in its trace ring nor counts
+// as a served query. Use it when a query failed midway; EndQuery is for
+// queries that ran to completion.
+func (c *Client) AbandonQuery() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inQuery = false
+}
+
+// ServerStats fetches the daemon's serving counters. It must not run while
+// a query is open on this connection.
+func (c *Client) ServerStats() (wire.ServerStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return wire.ServerStats{}, c.err
+	}
+	if c.inQuery {
+		return wire.ServerStats{}, errors.New("client: query in progress")
+	}
+	if err := c.send(wire.MsgStatsReq, nil); err != nil {
+		return wire.ServerStats{}, c.latch(err)
+	}
+	payload, err := c.expect(wire.MsgStats)
+	if err != nil {
+		return wire.ServerStats{}, c.latch(err)
+	}
+	return wire.DecodeServerStats(payload)
+}
+
+// remote adapts one query session on a Client to lbs.Backend. The lbs.Conn
+// on top of it keeps the client-side trace and the simulated Table 2 stats;
+// the server keeps its own trace of what it actually observed.
+type remote struct {
+	c     *Client
+	begun bool
+}
+
+// begin lazily opens the query session on first use. BeginQuery is
+// fire-and-forget, so it shares the flush of the operation that follows.
+func (r *remote) begin() error {
+	if r.begun {
+		return nil
+	}
+	if r.c.err != nil {
+		return r.c.err
+	}
+	if r.c.inQuery {
+		return errors.New("client: a query is already in progress on this connection")
+	}
+	if err := wire.WriteFrame(r.c.bw, wire.MsgBeginQuery, nil); err != nil {
+		r.c.err = fmt.Errorf("client: write BeginQuery: %w", err)
+		return r.c.err
+	}
+	r.c.inQuery = true
+	r.begun = true
+	return nil
+}
+
+// HeaderBytes downloads the public header (no PIR).
+func (r *remote) HeaderBytes() ([]byte, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if err := r.begin(); err != nil {
+		return nil, err
+	}
+	if err := r.c.send(wire.MsgHeaderReq, nil); err != nil {
+		return nil, r.c.latch(err)
+	}
+	payload, err := r.c.expect(wire.MsgHeader)
+	if err != nil {
+		return nil, r.c.latch(err)
+	}
+	h, err := wire.DecodeHeader(payload)
+	if err != nil {
+		return nil, r.c.latch(err)
+	}
+	return h.Data, nil
+}
+
+// FileInfo answers from the Welcome's public file table without a round
+// trip.
+func (r *remote) FileInfo(name string) (lbs.FileInfo, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	info, ok := r.c.files[name]
+	if !ok {
+		return lbs.FileInfo{}, fmt.Errorf("client: no such file %q", name)
+	}
+	return info, nil
+}
+
+// NextRound is fire-and-forget: the frame rides in front of the round's
+// first Fetch, so every protocol round costs exactly one real round trip.
+func (r *remote) NextRound() error {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if err := r.begin(); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(r.c.bw, wire.MsgNextRound, nil); err != nil {
+		r.c.err = fmt.Errorf("client: write NextRound: %w", err)
+		return r.c.err
+	}
+	return nil
+}
+
+// ReadPages ships the batch in one Fetch frame and one reply. Batches
+// beyond the frame's 16-bit count limit are chunked transparently.
+func (r *remote) ReadPages(file string, pages []int) ([][]byte, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if err := r.begin(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(pages))
+	for start := 0; start < len(pages); start += wire.MaxFetchBatch {
+		end := start + wire.MaxFetchBatch
+		if end > len(pages) {
+			end = len(pages)
+		}
+		chunk, err := r.readChunk(file, pages[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (r *remote) readChunk(file string, pages []int) ([][]byte, error) {
+	req := wire.Fetch{File: file, Pages: make([]uint32, len(pages))}
+	for i, p := range pages {
+		if p < 0 {
+			return nil, fmt.Errorf("client: negative page %d", p)
+		}
+		req.Pages[i] = uint32(p)
+	}
+	if err := r.c.send(wire.MsgFetch, req.Encode()); err != nil {
+		return nil, r.c.latch(err)
+	}
+	payload, err := r.c.expect(wire.MsgPages)
+	if err != nil {
+		return nil, r.c.latch(err)
+	}
+	resp, err := wire.DecodePages(payload)
+	if err != nil {
+		return nil, r.c.latch(err)
+	}
+	if len(resp.Pages) != len(pages) {
+		return nil, r.c.latch(fmt.Errorf("client: got %d pages, want %d", len(resp.Pages), len(pages)))
+	}
+	return resp.Pages, nil
+}
+
+// Model returns the cost-model parameters the daemon announced.
+func (r *remote) Model() costmodel.Params { return r.c.model }

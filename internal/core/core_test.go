@@ -31,7 +31,7 @@ func executorFor(q func(geom.Point, geom.Point) (*base.Result, error)) Executor 
 }
 
 // serveExec builds an executor from a scheme build result.
-func serveExec(t *testing.T, db *lbs.Database, err error, q func(*lbs.Server, geom.Point, geom.Point) (*base.Result, error)) Executor {
+func serveExec(t *testing.T, db *lbs.Database, err error, q func(lbs.Service, geom.Point, geom.Point) (*base.Result, error)) Executor {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)

@@ -22,7 +22,7 @@ import (
 )
 
 // serve wraps an lbs database into a Servable.
-func (r *Runner) serve(name string, db *lbs.Database, q func(*lbs.Server, geom.Point, geom.Point) (*base.Result, error)) (Servable, error) {
+func (r *Runner) serve(name string, db *lbs.Database, q func(lbs.Service, geom.Point, geom.Point) (*base.Result, error)) (Servable, error) {
 	// Experiments may legitimately exceed the real PIR size limit at full
 	// scale (that is one of the paper's findings); the harness keeps
 	// serving and flags the overflow in the tables instead of refusing.

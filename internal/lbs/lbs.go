@@ -7,6 +7,14 @@
 // which file was accessed how many times. Page numbers are invisible — the
 // PIR layer hides them — so the trace is the complete adversarial view, and
 // the privacy tests assert it is identical across queries (Theorem 1).
+//
+// The query protocol is written against two small interfaces so the same
+// scheme code drives either deployment: Backend is the raw service surface
+// (header download, batched PIR page reads), implemented in-process by
+// Server and over the network by the wire client; Service is anything that
+// can open a Conn. Conn layers the protocol bookkeeping — rounds, the
+// adversary-visible trace, and the Table 2 cost simulation — on top of
+// whichever backend it drives.
 package lbs
 
 import (
@@ -59,6 +67,43 @@ func (db *Database) LargestFileBytes() int64 {
 		}
 	}
 	return max
+}
+
+// FileInfo is the public metadata of one hosted page file. File lengths and
+// page sizes are not secrets — the query plan itself is public — so backends
+// expose them for cost accounting and batching.
+type FileInfo struct {
+	Name     string
+	NumPages int
+	PageSize int
+}
+
+// Backend is the raw service surface a Conn drives: header download and PIR
+// page retrieval. The in-process Server implements it directly; the remote
+// wire client implements it over TCP, so the schemes execute identical
+// protocol logic against either deployment.
+type Backend interface {
+	// HeaderBytes returns the public header file.
+	HeaderBytes() ([]byte, error)
+	// FileInfo returns the public metadata of the named file.
+	FileInfo(name string) (FileInfo, error)
+	// NextRound signals the start of the next protocol round to the
+	// service, which records it in the adversary-visible trace.
+	NextRound() error
+	// ReadPages retrieves the given pages of one file through the PIR
+	// interface — a single batched round trip for remote backends. The
+	// page indices travel encrypted to the SCP; the adversary observes
+	// only how many pages of the file were read.
+	ReadPages(file string, pages []int) ([][]byte, error)
+	// Model returns the cost-model parameters for the simulated stats.
+	Model() costmodel.Params
+}
+
+// Service is what a scheme's query protocol needs from a deployment: the
+// ability to open a per-query connection. *Server and the remote client
+// both implement it.
+type Service interface {
+	Connect() *Conn
 }
 
 // StoreFactory turns a page file into a PIR store. The default uses
@@ -146,10 +191,51 @@ func (s *Server) Database() *Database { return s.db }
 // Model returns the cost model in force.
 func (s *Server) Model() costmodel.Params { return s.model }
 
-// Connect opens a client connection (one per query in the experiments).
-func (s *Server) Connect() *Conn {
-	return &Conn{server: s, fetches: map[string]int{}}
+// HeaderBytes returns the public header file.
+func (s *Server) HeaderBytes() ([]byte, error) { return s.db.Header, nil }
+
+// FileInfo returns the metadata of one hosted file.
+func (s *Server) FileInfo(name string) (FileInfo, error) {
+	st, ok := s.stores[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("lbs: no such file %q", name)
+	}
+	return FileInfo{Name: name, NumPages: st.NumPages(), PageSize: st.PageSize()}, nil
 }
+
+// Files lists the hosted files in database order.
+func (s *Server) Files() []FileInfo {
+	infos := make([]FileInfo, 0, len(s.db.Files))
+	for _, f := range s.db.Files {
+		infos = append(infos, FileInfo{Name: f.Name(), NumPages: f.NumPages(), PageSize: f.PageSize()})
+	}
+	return infos
+}
+
+// NextRound is a no-op for the in-process backend: the Conn itself records
+// the round in the trace.
+func (s *Server) NextRound() error { return nil }
+
+// ReadPages retrieves pages through the PIR stores. Safe for concurrent use
+// when the stores are (pir.Plain is; the stateful ORAM stores are not).
+func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
+	st, ok := s.stores[file]
+	if !ok {
+		return nil, fmt.Errorf("lbs: no such file %q", file)
+	}
+	out := make([][]byte, len(pages))
+	for i, p := range pages {
+		data, err := st.Read(p)
+		if err != nil {
+			return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// Connect opens a client connection (one per query in the experiments).
+func (s *Server) Connect() *Conn { return NewConn(s) }
 
 // Stats aggregates the response-time components of Table 3 for one query.
 type Stats struct {
@@ -169,50 +255,95 @@ type Stats struct {
 // Response is the total response time: the paper's headline metric.
 func (s Stats) Response() time.Duration { return s.PIR + s.Comm + s.Client + s.Server }
 
-// Conn is a client's secure connection to the SCP for one query.
+// Conn is a client's secure connection to the SCP for one query. It keeps
+// the protocol bookkeeping — rounds, stats, the adversary-visible trace —
+// and delegates the raw operations to its Backend.
 type Conn struct {
-	server  *Server
+	backend Backend
+	model   costmodel.Params
 	stats   Stats
 	fetches map[string]int
 	trace   strings.Builder
 	round   int
+	err     error // first backend error; surfaced by every later call
+}
+
+// NewConn opens a connection over an arbitrary backend.
+func NewConn(b Backend) *Conn {
+	return &Conn{backend: b, model: b.Model(), fetches: map[string]int{}}
 }
 
 // DownloadHeader returns the full header file. It is public data fetched by
 // every client without the PIR interface (§5.3).
-func (c *Conn) DownloadHeader() []byte {
-	h := c.server.db.Header
+func (c *Conn) DownloadHeader() ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	h, err := c.backend.HeaderBytes()
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
 	c.stats.HeaderBytes = len(h)
-	c.stats.Comm += c.server.model.RTT + c.server.model.Transfer(len(h))
+	c.stats.Comm += c.model.RTT + c.model.Transfer(len(h))
 	c.trace.WriteString("header\n")
-	return h
+	return h, nil
 }
 
 // BeginRound starts the next protocol round (one client→SCP round trip).
+// A backend failure is deferred to the round's first Fetch.
 func (c *Conn) BeginRound() {
+	if c.err != nil {
+		return
+	}
+	if err := c.backend.NextRound(); err != nil {
+		c.err = err
+		return
+	}
 	c.round++
 	c.stats.Rounds++
-	c.stats.Comm += c.server.model.RTT
-	fmt.Fprintf(&c.trace, "round %d:", c.round)
-	c.trace.WriteString("\n")
+	c.stats.Comm += c.model.RTT
+	fmt.Fprintf(&c.trace, "round %d:\n", c.round)
 }
 
 // Fetch retrieves one page of the named file through the PIR interface.
 // The page index travels encrypted to the SCP; the adversary observes only
 // that some page of the file was read.
 func (c *Conn) Fetch(file string, page int) ([]byte, error) {
-	st, ok := c.server.stores[file]
-	if !ok {
-		return nil, fmt.Errorf("lbs: no such file %q", file)
-	}
-	data, err := st.Read(page)
+	pages, err := c.FetchMany(file, []int{page})
 	if err != nil {
-		return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, page, err)
+		return nil, err
 	}
-	c.stats.PIR += c.server.model.PIRFetch(st.NumPages())
-	c.stats.Comm += c.server.model.Transfer(st.PageSize())
-	c.fetches[file]++
-	fmt.Fprintf(&c.trace, "  fetch %s\n", file) // page number NOT visible
+	return pages[0], nil
+}
+
+// FetchMany retrieves several pages of one file. Remote backends ship the
+// whole batch in a single round trip; the trace and the simulated stats are
+// identical to len(pages) individual Fetch calls.
+func (c *Conn) FetchMany(file string, pages []int) ([][]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	info, err := c.backend.FileInfo(file)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	data, err := c.backend.ReadPages(file, pages)
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	if len(data) != len(pages) {
+		c.err = fmt.Errorf("lbs: fetch %s: got %d pages, want %d", file, len(data), len(pages))
+		return nil, c.err
+	}
+	for range pages {
+		c.stats.PIR += c.model.PIRFetch(info.NumPages)
+		c.stats.Comm += c.model.Transfer(info.PageSize)
+		c.fetches[file]++
+		fmt.Fprintf(&c.trace, "  fetch %s\n", file) // page number NOT visible
+	}
 	return data, nil
 }
 
@@ -238,16 +369,17 @@ func (c *Conn) Trace() string { return c.trace.String() }
 // rounds, same files in the same order, same per-file counts. The privacy
 // tests run every query through this.
 func (c *Conn) ConformsTo(p plan.Plan) error {
-	want := canonicalTrace(p)
+	want := CanonicalTrace(p)
 	if got := c.trace.String(); got != want {
 		return fmt.Errorf("lbs: trace deviates from plan\ngot:\n%swant:\n%s", got, want)
 	}
 	return nil
 }
 
-// canonicalTrace renders the unique transcript a plan-conforming query
-// produces.
-func canonicalTrace(p plan.Plan) string {
+// CanonicalTrace renders the unique transcript a plan-conforming query
+// produces. The networked server records its observations in the same
+// format, so client- and server-side views compare directly.
+func CanonicalTrace(p plan.Plan) string {
 	var b strings.Builder
 	b.WriteString("header\n")
 	for i, r := range p.Rounds {

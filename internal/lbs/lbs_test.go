@@ -61,7 +61,10 @@ func TestConnAccountingAndTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn := srv.Connect()
-	h := conn.DownloadHeader()
+	h, err := conn.DownloadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if string(h) != "header-bytes" {
 		t.Errorf("header = %q", h)
 	}
@@ -110,7 +113,9 @@ func TestConformsToCatchesDeviation(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn := srv.Connect()
-	conn.DownloadHeader()
+	if _, err := conn.DownloadHeader(); err != nil {
+		t.Fatal(err)
+	}
 	conn.BeginRound()
 	conn.Fetch("Fa", 0) // plan wants 2 fetches in round 1
 	conn.BeginRound()

@@ -64,17 +64,63 @@ func TestReadNetworkErrors(t *testing.T) {
 		nodes, edges string
 	}{
 		{"short node line", "0 1\n", ""},
-		{"bad coord", "0 x 1\n", ""},
+		{"bad node id", "x 0 0\n", ""},
+		{"bad x coord", "0 x 1\n", ""},
+		{"bad y coord", "0 1 y\n", ""},
 		{"duplicate id", "0 0 0\n0 1 1\n", ""},
-		{"unknown endpoint", "0 0 0\n1 1 1\n", "0 0 7 1\n"},
+		{"unknown from", "0 0 0\n1 1 1\n", "0 7 1 1\n"},
+		{"unknown to", "0 0 0\n1 1 1\n", "0 0 7 1\n"},
+		{"bad from", "0 0 0\n1 1 1\n", "0 x 1 1\n"},
+		{"bad to", "0 0 0\n1 1 1\n", "0 0 x 1\n"},
 		{"bad weight", "0 0 0\n1 1 1\n", "0 0 1 zero\n"},
 		{"negative weight", "0 0 0\n1 1 1\n", "0 0 1 -4\n"},
 		{"short edge line", "0 0 0\n1 1 1\n", "0 1\n"},
+		{"bad 3-field weight", "0 0 0\n1 1 1\n", "0 1 x\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadNetwork(strings.NewReader(c.nodes), strings.NewReader(c.edges)); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+func TestReadNetworkMixedEdgeArity(t *testing.T) {
+	// Autodetection is per line: 4+ fields mean a leading edge id, 3 mean
+	// bare "from to weight". A file may mix both.
+	nodes := strings.NewReader("0 0 0\n1 1 1\n2 2 2\n")
+	edges := strings.NewReader("17 0 1 1.0\n1 2 2.0\n")
+	g, err := ReadNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("parsed %d edges, want 2", g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(1, 2); !ok || w != 2.0 {
+		t.Errorf("3-field edge = %v,%v", w, ok)
+	}
+}
+
+func TestReadNetworkEdgeIDIgnored(t *testing.T) {
+	// The leading edge id of a 4-field line is documentation only: it is
+	// never parsed, so non-numeric ids pass through.
+	nodes := strings.NewReader("0 0 0\n1 1 1\n")
+	edges := strings.NewReader("e42 0 1 3.0\n")
+	g, err := ReadNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 3.0 {
+		t.Errorf("edge = %v,%v", w, ok)
+	}
+}
+
+func TestReadNetworkOverlongLine(t *testing.T) {
+	// Lines beyond the 4 MB scanner buffer surface as an error rather
+	// than silent truncation.
+	long := "0 0 " + strings.Repeat("9", 5<<20) + "\n"
+	if _, err := ReadNetwork(strings.NewReader(long), strings.NewReader("")); err == nil {
+		t.Error("overlong line accepted")
 	}
 }
 

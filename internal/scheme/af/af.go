@@ -308,8 +308,8 @@ func simulate(part *kdtree.Partition, regions [][]base.RegionNode, flagBytes int
 }
 
 // Query answers one shortest path query against an AF server.
-func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := srv.Connect()
+func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect()
 	hdr, err := base.DownloadHeader(conn)
 	if err != nil {
 		return nil, err

@@ -59,13 +59,18 @@ func (t *Timer) Total() time.Duration { return t.total }
 // DownloadHeader runs round 1: the full header comes straight from the LBS
 // (no PIR — it is identical for every client, §5.3).
 func DownloadHeader(conn *lbs.Conn) (*Header, error) {
-	return DecodeHeader(conn.DownloadHeader())
+	h, err := conn.DownloadHeader()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeHeader(h)
 }
 
 // FetchIndexWindow fetches exactly maxSpan consecutive pages of the index
 // file, positioned so the window both stays inside the file and covers the
 // record at entry.Page (footnote 5's boundary-case rule). It returns the
-// pages and the offset of entry.Page within the window.
+// pages and the offset of entry.Page within the window. The window goes out
+// as one batched retrieval (a single round trip over the wire).
 func FetchIndexWindow(conn *lbs.Conn, file string, entry LookupEntry, maxSpan, filePages int) ([][]byte, int, error) {
 	start := int(entry.Page)
 	if start > filePages-maxSpan {
@@ -74,32 +79,32 @@ func FetchIndexWindow(conn *lbs.Conn, file string, entry LookupEntry, maxSpan, f
 	if start < 0 {
 		start = 0
 	}
-	pages := make([][]byte, 0, maxSpan)
+	idx := make([]int, 0, maxSpan)
 	for i := 0; i < maxSpan && start+i < filePages; i++ {
-		p, err := conn.Fetch(file, start+i)
-		if err != nil {
-			return nil, 0, err
-		}
-		pages = append(pages, p)
+		idx = append(idx, start+i)
+	}
+	pages, err := conn.FetchMany(file, idx)
+	if err != nil {
+		return nil, 0, err
 	}
 	return pages, int(entry.Page) - start, nil
 }
 
 // FetchRegionCluster retrieves all ClusterPages pages of a region from the
-// named file and decodes its nodes. The record layout (compact or not) is
-// read from the header's ParamCompact.
+// named file in one batched retrieval and decodes its nodes. The record
+// layout (compact or not) is read from the header's ParamCompact.
 func FetchRegionCluster(conn *lbs.Conn, hdr *Header, file string, r kdtree.RegionID, lmDim, flagBytes int) ([]RegionNode, error) {
 	if int(r) >= len(hdr.RegionFirstPage) {
 		return nil, fmt.Errorf("base: region %d out of range", r)
 	}
 	first := int(hdr.RegionFirstPage[r])
-	pages := make([][]byte, hdr.ClusterPages)
-	for i := 0; i < hdr.ClusterPages; i++ {
-		p, err := conn.Fetch(file, first+i)
-		if err != nil {
-			return nil, err
-		}
-		pages[i] = p
+	idx := make([]int, hdr.ClusterPages)
+	for i := range idx {
+		idx[i] = first + i
+	}
+	pages, err := conn.FetchMany(file, idx)
+	if err != nil {
+		return nil, err
 	}
 	return DecodeRegionClusterMode(pages, lmDim, flagBytes, hdr.Params[ParamCompact] == 1)
 }

@@ -101,14 +101,14 @@ func (q ApproxQuality) String() string {
 
 // EvaluateApproximation runs a sampled workload against an (approximate) CI
 // server and compares every answer with exact Dijkstra on the full network.
-func EvaluateApproximation(srv *lbs.Server, g *graph.Graph, queries int, seed int64) (ApproxQuality, error) {
+func EvaluateApproximation(svc lbs.Service, g *graph.Graph, queries int, seed int64) (ApproxQuality, error) {
 	rng := rand.New(rand.NewSource(seed))
 	q := ApproxQuality{Queries: queries, MeanDeviation: 0, MaxDeviation: 1}
 	sum := 0.0
 	for i := 0; i < queries; i++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		t := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(t))
+		res, err := Query(svc, g.Point(s), g.Point(t))
 		if err != nil {
 			return q, err
 		}

@@ -153,8 +153,8 @@ func boolParam(b bool) int64 {
 // Query answers one private shortest path query against a CI server. The
 // access pattern follows the public plan exactly, padding with dummy
 // retrievals, regardless of the endpoints.
-func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := srv.Connect()
+func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect()
 	var tm base.Timer
 
 	// Round 1: header.

@@ -172,8 +172,8 @@ func windowOffset(entryPage, r, fiPart int) int {
 }
 
 // Query answers one private shortest path query against an HY server.
-func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := srv.Connect()
+func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect()
 	var tm base.Timer
 
 	hdr, err := base.DownloadHeader(conn)

@@ -296,8 +296,8 @@ func simulate(part *kdtree.Partition, regions [][]base.RegionNode, lmDim int, di
 
 // Query answers one shortest path query against an LM server, following the
 // fixed plan with dummy padding.
-func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := srv.Connect()
+func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect()
 	hdr, err := base.DownloadHeader(conn)
 	if err != nil {
 		return nil, err

@@ -147,8 +147,8 @@ func boolParam(b bool) int64 {
 }
 
 // Query answers one private shortest path query against a PI / PI* server.
-func Query(srv *lbs.Server, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := srv.Connect()
+func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect()
 	var tm base.Timer
 
 	hdr, err := base.DownloadHeader(conn)

@@ -1,0 +1,366 @@
+// Package server is the networked LBS daemon: it hosts one or more built
+// scheme databases behind the PIR interface and serves the wire protocol of
+// internal/wire over TCP. This is the untrusted party of §3.1 deployed for
+// real — per-connection sessions, a bounded worker pool for PIR page reads,
+// graceful shutdown, and a server-side trace recorder that captures exactly
+// the adversarial view: per query, the round structure and how many pages
+// of each file were read, never which pages. The privacy tests compare
+// these server-observed traces across distinct remote queries (Theorem 1).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/wire"
+)
+
+// Options tunes the daemon.
+type Options struct {
+	// Workers bounds the number of concurrently executing PIR page reads
+	// across all connections. 0 means 2×GOMAXPROCS.
+	Workers int
+	// MaxFrame bounds an accepted frame; 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+	// TraceHistory is how many completed per-query traces each database
+	// retains for auditing; 0 means 128.
+	TraceHistory int
+	// Logf receives serving events; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// hosted is one served database plus its counters and recent traces.
+type hosted struct {
+	name    string
+	srv     *lbs.Server
+	queries atomic.Uint64
+	pages   atomic.Uint64
+
+	mu     sync.Mutex
+	traces []string // ring of the most recent completed query traces
+	next   int
+	limit  int
+}
+
+func (h *hosted) addTrace(tr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.traces) < h.limit {
+		h.traces = append(h.traces, tr)
+	} else {
+		h.traces[h.next] = tr
+	}
+	h.next = (h.next + 1) % h.limit
+}
+
+// Server is the daemon. Host databases, then Serve a listener; Shutdown
+// stops accepting and waits for in-flight sessions.
+type Server struct {
+	opts Options
+	sem  chan struct{} // bounded worker pool for PIR reads
+
+	mu     sync.Mutex
+	dbs    map[string]*hosted
+	order  []string
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg          sync.WaitGroup
+	activeConns atomic.Int32
+	totalConns  atomic.Uint64
+}
+
+// New prepares a daemon with no databases hosted yet.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.DefaultMaxFrame
+	}
+	if opts.TraceHistory <= 0 {
+		opts.TraceHistory = 128
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.Workers),
+		dbs:   map[string]*hosted{},
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Host registers a built database under the given name (clients select it
+// in their Hello). The database is served with PlainStores, which are safe
+// for the daemon's concurrent reads.
+func (s *Server) Host(name string, db *lbs.Database, model costmodel.Params) error {
+	lsrv, err := lbs.NewServer(db, model, nil)
+	if err != nil {
+		return err
+	}
+	return s.HostLBS(name, lsrv)
+}
+
+// HostLBS registers an already-prepared lbs.Server. Its PIR stores must
+// support concurrent reads (pir.Plain does; the stateful ORAM stores
+// do not).
+func (s *Server) HostLBS(name string, lsrv *lbs.Server) error {
+	if name == "" {
+		return errors.New("server: empty database name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.dbs[name]; dup {
+		return fmt.Errorf("server: database %q already hosted", name)
+	}
+	s.dbs[name] = &hosted{name: name, srv: lsrv, limit: s.opts.TraceHistory}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// numDatabases returns how many databases are hosted.
+func (s *Server) numDatabases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// lookup resolves a Hello's database name; "" selects the sole database.
+// The error texts travel to remote clients (which add their own prefix),
+// so they carry no package prefix.
+func (s *Server) lookup(name string) (*hosted, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		if len(s.order) == 1 {
+			return s.dbs[s.order[0]], nil
+		}
+		return nil, fmt.Errorf("%d databases hosted, name one of %v", len(s.order), s.order)
+	}
+	h, ok := s.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("no database %q (hosted: %v)", name, s.order)
+	}
+	return h, nil
+}
+
+// ListenAndServe listens on the TCP address and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections until the listener fails or Shutdown runs.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.opts.Logf("privspd: serving on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.activeConns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.activeConns.Add(-1)
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			newSession(s, conn).run()
+		}()
+	}
+}
+
+// Addr returns the serving address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting, waits for in-flight sessions until the context
+// expires, then force-closes the stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// readPage routes one PIR page read through the bounded worker pool.
+func (s *Server) readPage(h *hosted, file string, page int) ([]byte, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	pages, err := h.srv.ReadPages(file, []int{page})
+	if err != nil {
+		return nil, err
+	}
+	return pages[0], nil
+}
+
+// readBatch serves one batched Fetch, fanning the reads out over the pool.
+// The fan-out spawns at most Workers goroutines regardless of batch size,
+// so a hostile maximum-count Fetch cannot balloon goroutine memory, and
+// page indices are validated up front.
+func (s *Server) readBatch(h *hosted, file string, pages []uint32) ([][]byte, error) {
+	info, err := h.srv.FileInfo(file)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pages {
+		if int64(p) >= int64(info.NumPages) {
+			return nil, fmt.Errorf("page %d out of range for %s (%d pages)", p, file, info.NumPages)
+		}
+	}
+	out := make([][]byte, len(pages))
+	if len(pages) == 1 {
+		p, err := s.readPage(h, file, int(pages[0]))
+		if err != nil {
+			return nil, err
+		}
+		out[0] = p
+		return out, nil
+	}
+	workers := len(pages)
+	if workers > cap(s.sem) {
+		workers = cap(s.sem)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pages) {
+					return
+				}
+				data, err := s.readPage(h, file, int(pages[i]))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = data
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Traces returns the retained server-observed traces of the named database,
+// oldest first. The Theorem 1 over-the-wire tests assert these are
+// pairwise identical.
+func (s *Server) Traces(db string) []string {
+	s.mu.Lock()
+	h, ok := s.dbs[db]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.traces))
+	for i := 0; i < len(h.traces); i++ {
+		out = append(out, h.traces[(h.next+i)%len(h.traces)])
+	}
+	return out
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() wire.ServerStats {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	dbs := make([]*hosted, 0, len(order))
+	for _, name := range order {
+		dbs = append(dbs, s.dbs[name])
+	}
+	s.mu.Unlock()
+	st := wire.ServerStats{
+		ActiveConns: uint32(s.activeConns.Load()),
+		TotalConns:  s.totalConns.Load(),
+	}
+	for _, h := range dbs {
+		st.Databases = append(st.Databases, wire.DBStats{
+			Name:    h.name,
+			Scheme:  h.srv.Database().Scheme,
+			Queries: h.queries.Load(),
+			Pages:   h.pages.Load(),
+		})
+	}
+	return st
+}

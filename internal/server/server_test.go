@@ -1,0 +1,465 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lbs"
+	"repro/internal/scheme/base"
+	"repro/internal/scheme/ci"
+	"repro/internal/scheme/hy"
+	"repro/internal/scheme/pi"
+	"repro/internal/wire"
+)
+
+// The strong schemes served over the wire in these tests.
+var strongSchemes = []string{"CI", "PI", "HY"}
+
+var (
+	fixtureOnce sync.Once
+	fixtureG    *graph.Graph
+	fixtureDBs  map[string]*lbs.Database
+	fixtureErr  error
+)
+
+// fixture builds one small network and a CI, PI and HY database over it,
+// shared by every test and benchmark in the package.
+func fixture(t testing.TB) (*graph.Graph, map[string]*lbs.Database) {
+	fixtureOnce.Do(func() {
+		g := gen.GeneratePreset(gen.Oldenburg, 0.12)
+		dbs := map[string]*lbs.Database{}
+		var err error
+		if dbs["CI"], err = ci.Build(g, ci.DefaultOptions()); err != nil {
+			fixtureErr = fmt.Errorf("CI build: %w", err)
+			return
+		}
+		if dbs["PI"], err = pi.Build(g, pi.DefaultOptions()); err != nil {
+			fixtureErr = fmt.Errorf("PI build: %w", err)
+			return
+		}
+		if dbs["HY"], err = hy.Build(g, hy.DefaultOptions()); err != nil {
+			fixtureErr = fmt.Errorf("HY build: %w", err)
+			return
+		}
+		fixtureG, fixtureDBs = g, dbs
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureG, fixtureDBs
+}
+
+// startServer hosts the given databases on a loopback listener and returns
+// the daemon plus its dial address. Shutdown runs on test cleanup.
+func startServer(t testing.TB, names ...string) (*Server, string) {
+	t.Helper()
+	_, dbs := fixture(t)
+	srv := New(Options{Workers: 4})
+	for _, name := range names {
+		if err := srv.Host(name, dbs[name], costmodel.Default()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialDB(t testing.TB, addr, db string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr, client.Options{Database: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// queryScheme dispatches to the scheme protocol the service hosts — the
+// same code path for in-process and remote services.
+func queryScheme(svc lbs.Service, scheme string, s, d graph.NodeID, g *graph.Graph) (*base.Result, error) {
+	switch scheme {
+	case "CI":
+		return ci.Query(svc, g.Point(s), g.Point(d))
+	case "PI":
+		return pi.Query(svc, g.Point(s), g.Point(d))
+	case "HY":
+		return hy.Query(svc, g.Point(s), g.Point(d))
+	}
+	return nil, fmt.Errorf("unknown scheme %s", scheme)
+}
+
+// remoteQuery runs one query over the wire and closes the query session.
+func remoteQuery(c *client.Client, scheme string, s, d graph.NodeID, g *graph.Graph) (*base.Result, string, error) {
+	res, err := queryScheme(c, scheme, s, d, g)
+	trace, terr := c.EndQuery()
+	if err != nil {
+		return nil, "", err
+	}
+	if terr != nil {
+		return nil, "", terr
+	}
+	return res, trace, nil
+}
+
+// TestRemoteMatchesInProcess runs the same workload against the in-process
+// server and over loopback TCP: answers, access traces and simulated cost
+// components must be identical — the deployments share the protocol code.
+func TestRemoteMatchesInProcess(t *testing.T) {
+	g, dbs := fixture(t)
+	_, addr := startServer(t, strongSchemes...)
+	for _, scheme := range strongSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			local, err := lbs.NewServer(dbs[scheme], costmodel.Default(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := dialDB(t, addr, scheme)
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 8; trial++ {
+				s := graph.NodeID(rng.Intn(g.NumNodes()))
+				d := graph.NodeID(rng.Intn(g.NumNodes()))
+				want, err := queryScheme(local, scheme, s, d, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := remoteQuery(c, scheme, s, d, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != want.Cost {
+					t.Fatalf("trial %d: remote cost %v, local %v", trial, got.Cost, want.Cost)
+				}
+				if len(got.Path) != len(want.Path) {
+					t.Fatalf("trial %d: remote path %d nodes, local %d", trial, len(got.Path), len(want.Path))
+				}
+				for i := range got.Path {
+					if got.Path[i] != want.Path[i] {
+						t.Fatalf("trial %d: paths diverge at %d", trial, i)
+					}
+				}
+				if got.Trace != want.Trace {
+					t.Fatalf("trial %d: client traces differ:\nremote:\n%slocal:\n%s", trial, got.Trace, want.Trace)
+				}
+				// The simulated Table 2 components are deterministic and
+				// must not depend on the deployment.
+				if got.Stats.PIR != want.Stats.PIR || got.Stats.Comm != want.Stats.Comm ||
+					got.Stats.Rounds != want.Stats.Rounds {
+					t.Fatalf("trial %d: simulated stats diverge: remote %+v, local %+v",
+						trial, got.Stats, want.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestServerTraceInvariance is Theorem 1 against the real networked path:
+// the trace the server records for distinct remote queries — the complete
+// adversarial view — is identical, and matches the public plan.
+func TestServerTraceInvariance(t *testing.T) {
+	g, dbs := fixture(t)
+	srv, addr := startServer(t, strongSchemes...)
+	for _, scheme := range strongSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			c := dialDB(t, addr, scheme)
+			rng := rand.New(rand.NewSource(23))
+			for trial := 0; trial < 6; trial++ {
+				s := graph.NodeID(rng.Intn(g.NumNodes()))
+				d := graph.NodeID(rng.Intn(g.NumNodes()))
+				if _, _, err := remoteQuery(c, scheme, s, d, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Identical endpoints must be indistinguishable from distinct
+			// ones, too.
+			if _, _, err := remoteQuery(c, scheme, 0, 0, g); err != nil {
+				t.Fatal(err)
+			}
+			traces := srv.Traces(scheme)
+			if len(traces) != 7 {
+				t.Fatalf("server recorded %d traces, want 7", len(traces))
+			}
+			want := lbs.CanonicalTrace(dbs[scheme].Plan)
+			for i, tr := range traces {
+				if tr != want {
+					t.Fatalf("server-observed trace %d deviates from the plan:\ngot:\n%swant:\n%s", i, tr, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentRemoteClients floods the daemon with concurrent clients —
+// each its own TCP connection — and checks every answer against Dijkstra.
+func TestConcurrentRemoteClients(t *testing.T) {
+	g, _ := fixture(t)
+	srv, addr := startServer(t, "CI")
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := graph.NodeID((i * 131) % g.NumNodes())
+			d := graph.NodeID((i*257 + 13) % g.NumNodes())
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			res, _, err := remoteQuery(c, "CI", s, d, g)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			want := graph.ShortestPath(g, s, d)
+			if math.Abs(res.Cost-want.Cost) > 1e-9 {
+				errs <- fmt.Errorf("client %d (s=%d t=%d): cost %v, Dijkstra %v", i, s, d, res.Cost, want.Cost)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.TotalConns < clients {
+		t.Errorf("TotalConns = %d, want >= %d", st.TotalConns, clients)
+	}
+	if len(st.Databases) != 1 || st.Databases[0].Queries != clients {
+		t.Errorf("stats = %+v, want %d queries", st.Databases, clients)
+	}
+}
+
+// TestDatabaseSelection covers Hello's database resolution: explicit names,
+// the sole-database default, and the ambiguous/unknown failures.
+func TestDatabaseSelection(t *testing.T) {
+	_, addr := startServer(t, "CI", "HY")
+	c := dialDB(t, addr, "HY")
+	if c.Scheme() != "HY" || c.Database() != "HY" {
+		t.Errorf("selected %s/%s", c.Database(), c.Scheme())
+	}
+	// No name against several databases: an unbound, stats-only session.
+	unbound := dialDB(t, addr, "")
+	if unbound.Scheme() != "" || unbound.Database() != "" {
+		t.Errorf("unbound session resolved to %s/%s", unbound.Database(), unbound.Scheme())
+	}
+	if st, err := unbound.ServerStats(); err != nil || len(st.Databases) != 2 {
+		t.Errorf("stats on unbound session: %+v, %v", st, err)
+	}
+	conn := unbound.Connect()
+	if _, err := conn.DownloadHeader(); err == nil {
+		t.Error("query op on unbound session succeeded")
+	}
+	if _, err := client.Dial(addr, client.Options{Database: "nope"}); err == nil {
+		t.Error("unknown database accepted")
+	}
+
+	_, soleAddr := startServer(t, "PI")
+	sole := dialDB(t, soleAddr, "")
+	if sole.Scheme() != "PI" || sole.Database() != "PI" {
+		t.Errorf("sole database resolved to %s/%s", sole.Database(), sole.Scheme())
+	}
+}
+
+// TestSessionSurvivesRejectedRequests: a server-side rejection must not
+// desynchronize the stream — the same connection then serves a valid query
+// — and an abandoned query leaves no partial trace in the audit ring.
+func TestSessionSurvivesRejectedRequests(t *testing.T) {
+	g, dbs := fixture(t)
+	srv, addr := startServer(t, "CI")
+	c := dialDB(t, addr, "")
+	// An unknown file fails fast against the Welcome's public file table,
+	// before any bytes go out.
+	conn := c.Connect()
+	if _, err := conn.Fetch("no-such-file", 0); err == nil {
+		t.Fatal("fetch of unknown file succeeded")
+	}
+	// An out-of-range page of a real file is rejected by the server; the
+	// stream stays in sync, and abandoning discards the partial query.
+	conn = c.Connect()
+	if _, err := conn.Fetch(base.FileLookup, 1<<20); err == nil {
+		t.Fatal("out-of-range fetch succeeded")
+	}
+	c.AbandonQuery()
+	if res, _, err := remoteQuery(c, "CI", 1, 2, g); err != nil || !res.Found() {
+		t.Fatalf("connection unusable after rejection: %v", err)
+	}
+	// Only the completed query is recorded: the abandoned one must not
+	// poison the trace ring or the counters.
+	traces := srv.Traces("CI")
+	if len(traces) != 1 || traces[0] != lbs.CanonicalTrace(dbs["CI"].Plan) {
+		t.Fatalf("trace ring after abandon: %q", traces)
+	}
+	if st := srv.Stats(); st.Databases[0].Queries != 1 {
+		t.Fatalf("queries = %d, want 1", st.Databases[0].Queries)
+	}
+}
+
+// TestGracefulShutdown: in-flight sessions complete, then new connections
+// are refused.
+func TestGracefulShutdown(t *testing.T) {
+	g, dbs := fixture(t)
+	srv := New(Options{Workers: 2})
+	if err := srv.Host("CI", dbs["CI"], costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := remoteQuery(c, "CI", 0, 5, g); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // no sessions left: shutdown drains immediately
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+	if _, err := client.Dial(addr, client.Options{DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Error("dial succeeded after shutdown")
+	}
+}
+
+// TestShutdownForceClosesIdleSessions: a client that sits idle past the
+// drain deadline is force-disconnected rather than blocking shutdown.
+func TestShutdownForceClosesIdleSessions(t *testing.T) {
+	_, dbs := fixture(t)
+	srv := New(Options{})
+	if err := srv.Host("CI", dbs["CI"], costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	c, err := client.Dial(ln.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+// TestRejectsVersionMismatch speaks the wire protocol directly.
+func TestRejectsVersionMismatch(t *testing.T) {
+	_, addr := startServer(t, "CI")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := wire.Hello{Version: 99, Database: ""}
+	if err := wire.WriteFrame(conn, wire.MsgHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(conn, wire.DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("got %s, want Error", typ)
+	}
+	if em, err := wire.DecodeErrorMsg(payload); err != nil || em.Text == "" {
+		t.Errorf("error message: %+v, %v", em, err)
+	}
+}
+
+// benchServed measures one full private query per iteration.
+func benchQueries(b *testing.B, svc lbs.Service, scheme string, g *graph.Graph, end func()) {
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		if _, err := queryScheme(svc, scheme, s, d, g); err != nil {
+			b.Fatal(err)
+		}
+		if end != nil {
+			end()
+		}
+	}
+}
+
+// BenchmarkQueryInProcess is the baseline: the whole protocol in one
+// address space.
+func BenchmarkQueryInProcess(b *testing.B) {
+	g, dbs := fixture(b)
+	for _, scheme := range strongSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			local, err := lbs.NewServer(dbs[scheme], costmodel.Default(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchQueries(b, local, scheme, g, nil)
+		})
+	}
+}
+
+// BenchmarkQueryLoopback runs the identical protocol over loopback TCP
+// through the daemon — the real client/server deployment of §3.1.
+func BenchmarkQueryLoopback(b *testing.B) {
+	g, _ := fixture(b)
+	for _, scheme := range strongSchemes {
+		b.Run(scheme, func(b *testing.B) {
+			_, addr := startServer(b, strongSchemes...)
+			c := dialDB(b, addr, scheme)
+			benchQueries(b, c, scheme, g, func() {
+				if _, err := c.EndQuery(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}

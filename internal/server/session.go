@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/wire"
+)
+
+// session is one client connection: a Hello/Welcome handshake binding it to
+// a hosted database, then a stream of query sessions. The trace recorder
+// writes the same canonical format as lbs.CanonicalTrace, so the
+// server-side view compares directly against the public plan and against
+// the client's own transcript.
+type session struct {
+	s    *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	db      *hosted
+	inQuery bool
+	round   int
+	trace   strings.Builder
+	fetched uint64 // pages served in the current query
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		s:    s,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+func (ss *session) send(t wire.MsgType, payload []byte) error {
+	if err := wire.WriteFrame(ss.bw, t, payload); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}
+
+func (ss *session) sendErr(format string, args ...any) error {
+	return ss.send(wire.MsgError, wire.ErrorMsg{Text: fmt.Sprintf(format, args...)}.Encode())
+}
+
+// run drives the session to completion. Transport errors end it; protocol
+// errors are reported to the client and the session continues.
+func (ss *session) run() {
+	if err := ss.handshake(); err != nil {
+		if err != io.EOF {
+			ss.s.opts.Logf("privspd: %s: handshake: %v", ss.conn.RemoteAddr(), err)
+		}
+		return
+	}
+	for {
+		t, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
+		if err != nil {
+			if err != io.EOF {
+				ss.s.opts.Logf("privspd: %s: read: %v", ss.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := ss.dispatch(t, payload); err != nil {
+			ss.s.opts.Logf("privspd: %s: %s: %v", ss.conn.RemoteAddr(), t, err)
+			return
+		}
+	}
+}
+
+func (ss *session) handshake() error {
+	t, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if t != wire.MsgHello {
+		ss.sendErr("expected Hello, got %s", t)
+		return fmt.Errorf("expected Hello, got %s", t)
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		ss.sendErr("%v", err)
+		return err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		err := fmt.Errorf("protocol version %d not supported (want %d)", hello.Version, wire.ProtocolVersion)
+		ss.sendErr("%v", err)
+		return err
+	}
+	// An empty database name against a multi-database daemon yields an
+	// unbound, stats-only session (Welcome with empty scheme): daemon-wide
+	// statistics don't require picking a database. Query messages on an
+	// unbound session are rejected.
+	var welcome wire.Welcome
+	if hello.Database == "" && ss.s.numDatabases() != 1 {
+		welcome.Model = costmodel.Default()
+	} else {
+		db, err := ss.s.lookup(hello.Database)
+		if err != nil {
+			ss.sendErr("%v", err)
+			return err
+		}
+		ss.db = db
+		welcome = wire.Welcome{
+			Scheme:   db.srv.Database().Scheme,
+			Database: db.name,
+			Files:    db.srv.Files(),
+			Model:    db.srv.Model(),
+		}
+	}
+	return ss.send(wire.MsgWelcome, welcome.Encode())
+}
+
+func (ss *session) dispatch(t wire.MsgType, payload []byte) error {
+	switch t {
+	case wire.MsgBeginQuery:
+		// Fire-and-forget: never reply, even on error, or the stream
+		// desynchronizes. On an unbound session the begin is ignored and
+		// the next replied-to message reports the problem.
+		if ss.db == nil {
+			return nil
+		}
+		// An unfinished previous query is discarded, not counted: its
+		// trace never completed, so it is not a served query. The client
+		// relies on this after a failed query (AbandonQuery).
+		ss.inQuery = true
+		ss.round = 0
+		ss.trace.Reset()
+		ss.fetched = 0
+		return nil
+
+	case wire.MsgHeaderReq:
+		if ss.db == nil {
+			return ss.sendErr("session is not bound to a database; reconnect naming one")
+		}
+		if !ss.inQuery {
+			return ss.sendErr("HeaderReq outside a query session")
+		}
+		h, err := ss.db.srv.HeaderBytes()
+		if err != nil {
+			return ss.sendErr("%v", err)
+		}
+		ss.trace.WriteString("header\n")
+		return ss.send(wire.MsgHeader, wire.Header{Data: h}.Encode())
+
+	case wire.MsgNextRound:
+		// Fire-and-forget (one real round trip per round): outside a
+		// query it is ignored rather than answered, preserving sync.
+		if ss.inQuery {
+			ss.round++
+			fmt.Fprintf(&ss.trace, "round %d:\n", ss.round)
+		}
+		return nil
+
+	case wire.MsgFetch:
+		if ss.db == nil {
+			return ss.sendErr("session is not bound to a database; reconnect naming one")
+		}
+		if !ss.inQuery {
+			return ss.sendErr("Fetch outside a query session")
+		}
+		req, err := wire.DecodeFetch(payload)
+		if err != nil {
+			return ss.sendErr("%v", err)
+		}
+		if len(req.Pages) == 0 {
+			return ss.sendErr("empty fetch")
+		}
+		pages, err := ss.s.readBatch(ss.db, req.File, req.Pages)
+		if err != nil {
+			return ss.sendErr("%v", err)
+		}
+		// The adversarial view: file name and count only — the page
+		// indices model a PIR-encrypted request and are never recorded.
+		for range req.Pages {
+			fmt.Fprintf(&ss.trace, "  fetch %s\n", req.File)
+		}
+		ss.fetched += uint64(len(req.Pages))
+		return ss.send(wire.MsgPages, wire.Pages{Pages: pages}.Encode())
+
+	case wire.MsgEndQuery:
+		if ss.db == nil {
+			return ss.sendErr("session is not bound to a database; reconnect naming one")
+		}
+		if !ss.inQuery {
+			return ss.sendErr("EndQuery outside a query session")
+		}
+		tr := ss.trace.String()
+		ss.inQuery = false
+		ss.db.addTrace(tr)
+		ss.db.queries.Add(1)
+		ss.db.pages.Add(ss.fetched)
+		return ss.send(wire.MsgQueryDone, wire.QueryDone{Trace: tr}.Encode())
+
+	case wire.MsgStatsReq:
+		return ss.send(wire.MsgStats, ss.s.Stats().Encode())
+
+	default:
+		return ss.sendErr("unexpected message %s", t)
+	}
+}

@@ -1,0 +1,427 @@
+// Package wire defines the length-prefixed binary protocol between a remote
+// client and the networked LBS daemon (internal/server). A frame is
+//
+//	uint32 payload length (big endian) | uint8 message type | payload
+//
+// and payloads reuse the pagefile codec (fixed-width big-endian integers,
+// IEEE float bits, uint16-length-prefixed strings).
+//
+// The protocol mirrors the §3.1 query structure one-to-one, so the server
+// observes exactly what the paper's adversary observes: a session handshake
+// (Hello/Welcome), then per query a BeginQuery, one HeaderReq (the public
+// header, no PIR), a NextRound marker per protocol round, and batched Fetch
+// requests that name a file and a page count. Page indices ride inside the
+// Fetch payload standing in for the PIR-encrypted request; the server's
+// trace recorder never looks at them, only at the file name and count —
+// that is the complete adversarial view (Theorem 1).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+)
+
+// ProtocolVersion is bumped on any incompatible frame or payload change.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame bounds a single frame's payload; it must accommodate the
+// largest header file and the largest batched page fetch.
+const DefaultMaxFrame = 64 << 20
+
+// MsgType discriminates frames.
+type MsgType uint8
+
+// The protocol messages. C→S is client to server, S→C the reverse.
+const (
+	MsgHello      MsgType = iota + 1 // C→S: version + database name
+	MsgWelcome                       // S→C: scheme, file table, cost model
+	MsgError                         // S→C: request failed; session stays up
+	MsgBeginQuery                    // C→S: start a fresh query session
+	MsgHeaderReq                     // C→S: download the public header
+	MsgHeader                        // S→C: header bytes
+	MsgNextRound                     // C→S: next protocol round begins (no reply)
+	MsgFetch                         // C→S: batched PIR page retrieval
+	MsgPages                         // S→C: the retrieved pages
+	MsgEndQuery                      // C→S: query finished
+	MsgQueryDone                     // S→C: server-side observed trace
+	MsgStatsReq                      // C→S: server statistics
+	MsgStats                         // S→C: the statistics
+)
+
+// String names a message type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgWelcome:
+		return "Welcome"
+	case MsgError:
+		return "Error"
+	case MsgBeginQuery:
+		return "BeginQuery"
+	case MsgHeaderReq:
+		return "HeaderReq"
+	case MsgHeader:
+		return "Header"
+	case MsgNextRound:
+		return "NextRound"
+	case MsgFetch:
+		return "Fetch"
+	case MsgPages:
+		return "Pages"
+	case MsgEndQuery:
+		return "EndQuery"
+	case MsgQueryDone:
+		return "QueryDone"
+	case MsgStatsReq:
+		return "StatsReq"
+	case MsgStats:
+		return "Stats"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// WriteFrame emits one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if uint64(len(payload)) > math.MaxUint32 {
+		return fmt.Errorf("wire: payload of %d bytes does not fit a frame", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting payloads beyond maxFrame bytes. The
+// length is compared in 64 bits so a hostile header cannot overflow int on
+// 32-bit platforms.
+func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if uint64(n) > uint64(maxFrame) {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// MaxFetchBatch is the largest page batch one Fetch frame carries (its
+// count field is 16-bit); the client chunks larger batches transparently.
+const MaxFetchBatch = 0xFFFF
+
+func putString(e *pagefile.Enc, s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	e.U16(uint16(len(s)))
+	e.Raw([]byte(s))
+}
+
+func getString(d *pagefile.Dec) string {
+	n := int(d.U16())
+	return string(d.Raw(n))
+}
+
+func putBytes(e *pagefile.Enc, b []byte) {
+	e.U32(uint32(len(b)))
+	e.Raw(b)
+}
+
+func getBytes(d *pagefile.Dec) []byte {
+	n := int(d.U32())
+	raw := d.Raw(n)
+	if d.Err() != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, raw)
+	return out
+}
+
+// Hello opens a session: protocol version and the database the client wants
+// (empty selects the daemon's sole database).
+type Hello struct {
+	Version  uint16
+	Database string
+}
+
+// Encode serializes the message payload.
+func (m Hello) Encode() []byte {
+	e := pagefile.NewEnc(4 + len(m.Database))
+	e.U16(m.Version)
+	putString(e, m.Database)
+	return e.Bytes()
+}
+
+// DecodeHello reverses Hello.Encode.
+func DecodeHello(b []byte) (Hello, error) {
+	d := pagefile.NewDec(b)
+	m := Hello{Version: d.U16(), Database: getString(d)}
+	return m, decErr("Hello", d)
+}
+
+// Welcome acknowledges a session: the scheme, the public file table and the
+// cost-model parameters the client should simulate with.
+type Welcome struct {
+	Scheme   string
+	Database string
+	Files    []lbs.FileInfo
+	Model    costmodel.Params
+}
+
+// Encode serializes the message payload.
+func (m Welcome) Encode() []byte {
+	e := pagefile.NewEnc(128)
+	putString(e, m.Scheme)
+	putString(e, m.Database)
+	e.U16(uint16(len(m.Files)))
+	for _, f := range m.Files {
+		putString(e, f.Name)
+		e.U32(uint32(f.NumPages))
+		e.U32(uint32(f.PageSize))
+	}
+	encodeModel(e, m.Model)
+	return e.Bytes()
+}
+
+// DecodeWelcome reverses Welcome.Encode.
+func DecodeWelcome(b []byte) (Welcome, error) {
+	d := pagefile.NewDec(b)
+	m := Welcome{Scheme: getString(d), Database: getString(d)}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Files = append(m.Files, lbs.FileInfo{
+			Name:     getString(d),
+			NumPages: int(d.U32()),
+			PageSize: int(d.U32()),
+		})
+	}
+	m.Model = decodeModel(d)
+	return m, decErr("Welcome", d)
+}
+
+func encodeModel(e *pagefile.Enc, p costmodel.Params) {
+	e.U32(uint32(p.PageSize))
+	e.U64(uint64(p.DiskSeek))
+	e.F64(p.DiskRate)
+	e.F64(p.SCPRate)
+	e.F64(p.CryptRate)
+	e.F64(p.Bandwidth)
+	e.U64(uint64(p.RTT))
+	e.U64(uint64(p.SCPMemory))
+	e.F64(p.SCPFactor)
+	e.F64(p.ShuffleK)
+}
+
+func decodeModel(d *pagefile.Dec) costmodel.Params {
+	return costmodel.Params{
+		PageSize:  int(d.U32()),
+		DiskSeek:  time.Duration(d.U64()),
+		DiskRate:  d.F64(),
+		SCPRate:   d.F64(),
+		CryptRate: d.F64(),
+		Bandwidth: d.F64(),
+		RTT:       time.Duration(d.U64()),
+		SCPMemory: int64(d.U64()),
+		SCPFactor: d.F64(),
+		ShuffleK:  d.F64(),
+	}
+}
+
+// ErrorMsg reports a failed request. The session survives; the client
+// surfaces the error to the caller.
+type ErrorMsg struct {
+	Text string
+}
+
+// Encode serializes the message payload.
+func (m ErrorMsg) Encode() []byte {
+	e := pagefile.NewEnc(2 + len(m.Text))
+	putString(e, m.Text)
+	return e.Bytes()
+}
+
+// DecodeErrorMsg reverses ErrorMsg.Encode.
+func DecodeErrorMsg(b []byte) (ErrorMsg, error) {
+	d := pagefile.NewDec(b)
+	m := ErrorMsg{Text: getString(d)}
+	return m, decErr("Error", d)
+}
+
+// Header carries the public header file.
+type Header struct {
+	Data []byte
+}
+
+// Encode serializes the message payload.
+func (m Header) Encode() []byte {
+	e := pagefile.NewEnc(4 + len(m.Data))
+	putBytes(e, m.Data)
+	return e.Bytes()
+}
+
+// DecodeHeader reverses Header.Encode.
+func DecodeHeader(b []byte) (Header, error) {
+	d := pagefile.NewDec(b)
+	m := Header{Data: getBytes(d)}
+	return m, decErr("Header", d)
+}
+
+// Fetch is a batched PIR retrieval: up to 65535 pages of one file in a
+// single round trip. The page indices model the PIR-encrypted request — the
+// server's trace recorder sees only the file name and the count.
+type Fetch struct {
+	File  string
+	Pages []uint32
+}
+
+// Encode serializes the message payload.
+func (m Fetch) Encode() []byte {
+	e := pagefile.NewEnc(4 + len(m.File) + 4*len(m.Pages))
+	putString(e, m.File)
+	e.U16(uint16(len(m.Pages)))
+	for _, p := range m.Pages {
+		e.U32(p)
+	}
+	return e.Bytes()
+}
+
+// DecodeFetch reverses Fetch.Encode.
+func DecodeFetch(b []byte) (Fetch, error) {
+	d := pagefile.NewDec(b)
+	m := Fetch{File: getString(d)}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Pages = append(m.Pages, d.U32())
+	}
+	return m, decErr("Fetch", d)
+}
+
+// Pages answers a Fetch with the page contents, in request order.
+type Pages struct {
+	Pages [][]byte
+}
+
+// Encode serializes the message payload.
+func (m Pages) Encode() []byte {
+	size := 2
+	for _, p := range m.Pages {
+		size += 4 + len(p)
+	}
+	e := pagefile.NewEnc(size)
+	e.U16(uint16(len(m.Pages)))
+	for _, p := range m.Pages {
+		putBytes(e, p)
+	}
+	return e.Bytes()
+}
+
+// DecodePages reverses Pages.Encode.
+func DecodePages(b []byte) (Pages, error) {
+	d := pagefile.NewDec(b)
+	var m Pages
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Pages = append(m.Pages, getBytes(d))
+	}
+	return m, decErr("Pages", d)
+}
+
+// QueryDone closes a query session and returns the trace the server
+// actually observed — the adversarial view the Theorem 1 tests compare
+// across queries.
+type QueryDone struct {
+	Trace string
+}
+
+// Encode serializes the message payload.
+func (m QueryDone) Encode() []byte {
+	e := pagefile.NewEnc(4 + len(m.Trace))
+	putBytes(e, []byte(m.Trace))
+	return e.Bytes()
+}
+
+// DecodeQueryDone reverses QueryDone.Encode.
+func DecodeQueryDone(b []byte) (QueryDone, error) {
+	d := pagefile.NewDec(b)
+	m := QueryDone{Trace: string(getBytes(d))}
+	return m, decErr("QueryDone", d)
+}
+
+// DBStats are the per-database serving counters.
+type DBStats struct {
+	Name    string
+	Scheme  string
+	Queries uint64 // completed query sessions
+	Pages   uint64 // PIR pages served
+}
+
+// ServerStats is the daemon's aggregate serving state.
+type ServerStats struct {
+	ActiveConns uint32
+	TotalConns  uint64
+	Databases   []DBStats
+}
+
+// Encode serializes the message payload.
+func (m ServerStats) Encode() []byte {
+	e := pagefile.NewEnc(64)
+	e.U32(m.ActiveConns)
+	e.U64(m.TotalConns)
+	e.U16(uint16(len(m.Databases)))
+	for _, db := range m.Databases {
+		putString(e, db.Name)
+		putString(e, db.Scheme)
+		e.U64(db.Queries)
+		e.U64(db.Pages)
+	}
+	return e.Bytes()
+}
+
+// DecodeServerStats reverses ServerStats.Encode.
+func DecodeServerStats(b []byte) (ServerStats, error) {
+	d := pagefile.NewDec(b)
+	m := ServerStats{ActiveConns: d.U32(), TotalConns: d.U64()}
+	n := int(d.U16())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Databases = append(m.Databases, DBStats{
+			Name:    getString(d),
+			Scheme:  getString(d),
+			Queries: d.U64(),
+			Pages:   d.U64(),
+		})
+	}
+	return m, decErr("Stats", d)
+}
+
+func decErr(msg string, d *pagefile.Dec) error {
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %s: %w", msg, err)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: decoding %s: %d trailing bytes", msg, d.Remaining())
+	}
+	return nil
+}

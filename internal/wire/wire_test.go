@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 100000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, MsgFetch, p); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != MsgFetch {
+			t.Errorf("frame %d: type %s", i, typ)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgPages, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf, 512); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestReadFrameShortPayload(t *testing.T) {
+	// A frame header promising more bytes than arrive must error, not hang
+	// or return garbage.
+	r := bytes.NewReader([]byte{0, 0, 0, 10, byte(MsgHello), 1, 2, 3})
+	if _, _, err := ReadFrame(r, DefaultMaxFrame); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil), DefaultMaxFrame); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	m := Hello{Version: ProtocolVersion, Database: "CI"}
+	got, err := DecodeHello(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	m := Welcome{
+		Scheme:   "HY",
+		Database: "main",
+		Files: []lbs.FileInfo{
+			{Name: "Fl", NumPages: 12, PageSize: 4096},
+			{Name: "Fc", NumPages: 9999, PageSize: 512},
+		},
+		Model: costmodel.Default(),
+	}
+	got, err := DecodeWelcome(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != m.Scheme || got.Database != m.Database {
+		t.Errorf("identity: got %q/%q", got.Scheme, got.Database)
+	}
+	if len(got.Files) != 2 || got.Files[0] != m.Files[0] || got.Files[1] != m.Files[1] {
+		t.Errorf("files: got %+v", got.Files)
+	}
+	if got.Model != m.Model {
+		t.Errorf("model: got %+v, want %+v", got.Model, m.Model)
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	m := Fetch{File: "Fd", Pages: []uint32{0, 7, 7, 1 << 30}}
+	got, err := DecodeFetch(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.File != m.File || len(got.Pages) != len(m.Pages) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range m.Pages {
+		if got.Pages[i] != m.Pages[i] {
+			t.Errorf("page %d: got %d", i, got.Pages[i])
+		}
+	}
+}
+
+func TestPagesRoundTrip(t *testing.T) {
+	m := Pages{Pages: [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{7}, 4096)}}
+	got, err := DecodePages(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pages) != 3 {
+		t.Fatalf("got %d pages", len(got.Pages))
+	}
+	for i := range m.Pages {
+		if !bytes.Equal(got.Pages[i], m.Pages[i]) {
+			t.Errorf("page %d mismatch", i)
+		}
+	}
+}
+
+func TestQueryDoneAndErrorRoundTrip(t *testing.T) {
+	q := QueryDone{Trace: "header\nround 1:\n  fetch Fl\n"}
+	gotQ, err := DecodeQueryDone(q.Encode())
+	if err != nil || gotQ.Trace != q.Trace {
+		t.Errorf("QueryDone: %+v, %v", gotQ, err)
+	}
+	e := ErrorMsg{Text: "no such database"}
+	gotE, err := DecodeErrorMsg(e.Encode())
+	if err != nil || gotE.Text != e.Text {
+		t.Errorf("ErrorMsg: %+v, %v", gotE, err)
+	}
+}
+
+func TestServerStatsRoundTrip(t *testing.T) {
+	m := ServerStats{
+		ActiveConns: 3,
+		TotalConns:  128,
+		Databases: []DBStats{
+			{Name: "CI", Scheme: "CI", Queries: 10, Pages: 170},
+			{Name: "HY", Scheme: "HY", Queries: 2, Pages: 44},
+		},
+	}
+	got, err := DecodeServerStats(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ActiveConns != 3 || got.TotalConns != 128 || len(got.Databases) != 2 ||
+		got.Databases[1] != m.Databases[1] {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	if _, err := DecodeHello([]byte{1}); err == nil {
+		t.Error("truncated Hello accepted")
+	}
+	if _, err := DecodeWelcome([]byte{0, 2, 'C'}); err == nil {
+		t.Error("truncated Welcome accepted")
+	}
+	if _, err := DecodeFetch([]byte{0, 1, 'F', 0, 5, 0, 0}); err == nil {
+		t.Error("Fetch with missing pages accepted")
+	}
+	if _, err := DecodePages([]byte{0, 1, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("Pages with absurd length accepted")
+	}
+	// Trailing garbage is a framing bug and must be rejected too.
+	b := append(Hello{Version: 1, Database: "x"}.Encode(), 0xEE)
+	if _, err := DecodeHello(b); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes: err = %v", err)
+	}
+}

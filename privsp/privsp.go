@@ -22,7 +22,9 @@ package privsp
 import (
 	"fmt"
 	"io"
+	"sync"
 
+	"repro/internal/client"
 	"repro/internal/costmodel"
 	"repro/internal/gen"
 	"repro/internal/geom"
@@ -262,6 +264,11 @@ func (d *Database) Plan() string {
 // Scheme returns the database's scheme.
 func (d *Database) Scheme() Scheme { return d.cfg.Scheme }
 
+// LBS exposes the underlying page-file database for hosting by the
+// networked daemon (internal/server). It is nil for OBF, which has no PIR
+// database to serve.
+func (d *Database) LBS() *lbs.Database { return d.db }
+
 // PlanPIRAccesses returns the fixed number of PIR page retrievals every
 // query performs (0 for OBF, which has no fixed plan).
 func (d *Database) PlanPIRAccesses() int {
@@ -340,3 +347,151 @@ func (s *Server) ShortestPath(src, dst Point) (*Result, error) {
 // CostModel returns the Table 2 parameters in force for documentation and
 // what-if tuning.
 func CostModel() costmodel.Params { return costmodel.Default() }
+
+// PathService is the query surface shared by the in-process Server and the
+// remote client returned by Dial: the same scheme protocol code runs behind
+// both.
+type PathService interface {
+	ShortestPath(src, dst Point) (*Result, error)
+}
+
+var (
+	_ PathService = (*Server)(nil)
+	_ PathService = (*RemoteServer)(nil)
+)
+
+// RemoteServer is a connection to a privspd daemon. It satisfies the same
+// query surface as the in-process Server; the scheme's multi-round PIR
+// protocol runs over the wire, and the daemon observes only the public
+// plan's access pattern.
+//
+// One RemoteServer runs one query at a time; open one per goroutine for
+// concurrent querying.
+type RemoteServer struct {
+	c      *client.Client
+	scheme Scheme
+
+	mu        sync.Mutex
+	lastTrace string
+}
+
+// Dial connects to a privspd daemon serving a single database.
+func Dial(addr string) (*RemoteServer, error) { return DialDatabase(addr, "") }
+
+// DialDatabase connects to a privspd daemon and selects a hosted database
+// by name (daemons may host several; empty selects the sole one). Dialing a
+// multi-database daemon without a name yields an unbound, stats-only
+// connection: Stats works, ShortestPath reports that a database must be
+// named.
+func DialDatabase(addr, database string) (*RemoteServer, error) {
+	c, err := client.Dial(addr, client.Options{Database: database})
+	if err != nil {
+		return nil, err
+	}
+	scheme := Scheme(c.Scheme())
+	switch scheme {
+	case CI, PI, PIStar, HY, LM, AF:
+	case "": // unbound stats-only session
+	default:
+		c.Close()
+		return nil, fmt.Errorf("privsp: daemon hosts unsupported scheme %q", scheme)
+	}
+	return &RemoteServer{c: c, scheme: scheme}, nil
+}
+
+// Scheme returns the scheme of the connected database.
+func (r *RemoteServer) Scheme() Scheme { return r.scheme }
+
+// Database returns the name of the connected database.
+func (r *RemoteServer) Database() string { return r.c.Database() }
+
+// ShortestPath runs one private query over the wire. The Result's Stats and
+// Trace are the client-side view (identical to the in-process deployment);
+// ServerTrace exposes what the daemon actually observed.
+func (r *RemoteServer) ShortestPath(src, dst Point) (*Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var (
+		res *Result
+		err error
+	)
+	switch r.scheme {
+	case CI:
+		res, err = ci.Query(r.c, src, dst)
+	case PI, PIStar:
+		res, err = pi.Query(r.c, src, dst)
+	case HY:
+		res, err = hy.Query(r.c, src, dst)
+	case LM:
+		res, err = lm.Query(r.c, src, dst)
+	case AF:
+		res, err = af.Query(r.c, src, dst)
+	case "":
+		return nil, fmt.Errorf("privsp: connection is not bound to a database; use DialDatabase")
+	default:
+		return nil, fmt.Errorf("privsp: unknown scheme %q", r.scheme)
+	}
+	if err != nil {
+		// A failed query never completed its session: abandon it so the
+		// daemon discards the partial trace instead of recording it, and
+		// the connection stays usable.
+		r.c.AbandonQuery()
+		return nil, err
+	}
+	// Complete the session; the returned trace is the daemon's adversarial
+	// view of this query.
+	trace, terr := r.c.EndQuery()
+	if terr != nil {
+		return nil, terr
+	}
+	r.lastTrace = trace
+	return res, nil
+}
+
+// ServerTrace returns the daemon-observed access trace of the most recent
+// query: the complete adversarial view (rounds and per-file fetch counts,
+// never page numbers). Theorem 1 holds exactly when this is identical
+// across all queries.
+func (r *RemoteServer) ServerTrace() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastTrace
+}
+
+// DatabaseStats are one hosted database's serving counters.
+type DatabaseStats struct {
+	Name        string
+	Scheme      Scheme
+	Queries     uint64
+	PagesServed uint64
+}
+
+// ServiceStats is a daemon's aggregate serving state.
+type ServiceStats struct {
+	ActiveConns int
+	TotalConns  uint64
+	Databases   []DatabaseStats
+}
+
+// Stats fetches the daemon's serving counters.
+func (r *RemoteServer) Stats() (ServiceStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws, err := r.c.ServerStats()
+	if err != nil {
+		return ServiceStats{}, err
+	}
+	st := ServiceStats{ActiveConns: int(ws.ActiveConns), TotalConns: ws.TotalConns}
+	for _, db := range ws.Databases {
+		st.Databases = append(st.Databases, DatabaseStats{
+			Name:        db.Name,
+			Scheme:      Scheme(db.Scheme),
+			Queries:     db.Queries,
+			PagesServed: db.Pages,
+		})
+	}
+	return st, nil
+}
+
+// Close tears down the connection to the daemon.
+func (r *RemoteServer) Close() error { return r.c.Close() }

@@ -1,0 +1,120 @@
+package privsp
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// startDaemon hosts the built database on loopback and returns its address.
+func startDaemon(t *testing.T, name string, db *Database) string {
+	t.Helper()
+	srv := server.New(server.Options{})
+	if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestRemoteDialEndToEnd drives the public API across a real TCP socket:
+// Dial returns the same query surface as Serve, the answers agree with the
+// in-process deployment, and the daemon-observed trace is identical across
+// distinct queries (Theorem 1 over the wire).
+func TestRemoteDialEndToEnd(t *testing.T) {
+	net0 := Generate(Oldenburg, 0.08, 1)
+	db, err := Build(net0, Config{Scheme: CI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startDaemon(t, "CI", db)
+
+	local, err := Serve(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if remote.Scheme() != CI || remote.Database() != "CI" {
+		t.Fatalf("dialed %s/%s", remote.Database(), remote.Scheme())
+	}
+
+	var services = map[string]PathService{"local": local, "remote": remote}
+	queries := [][2]graph.NodeID{{0, 9}, {3, 40}, {7, 7}}
+	var firstServerTrace string
+	for qi, q := range queries {
+		var costs []float64
+		for _, name := range []string{"local", "remote"} {
+			res, err := services[name].ShortestPath(net0.NodePoint(q[0]), net0.NodePoint(q[1]))
+			if err != nil {
+				t.Fatalf("query %d via %s: %v", qi, name, err)
+			}
+			costs = append(costs, res.Cost)
+		}
+		if math.Abs(costs[0]-costs[1]) > 1e-9 {
+			t.Errorf("query %d: local cost %v, remote %v", qi, costs[0], costs[1])
+		}
+		tr := remote.ServerTrace()
+		if tr == "" {
+			t.Fatalf("query %d: no server trace", qi)
+		}
+		if firstServerTrace == "" {
+			firstServerTrace = tr
+		} else if tr != firstServerTrace {
+			t.Errorf("query %d: adversarial view changed:\n%svs:\n%s", qi, tr, firstServerTrace)
+		}
+	}
+
+	st, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Databases) != 1 || st.Databases[0].Queries != uint64(len(queries)) {
+		t.Errorf("stats = %+v, want %d queries", st, len(queries))
+	}
+	if st.Databases[0].Scheme != CI || st.Databases[0].PagesServed == 0 {
+		t.Errorf("database stats = %+v", st.Databases[0])
+	}
+}
+
+// TestDialErrors covers the connection-level failure modes.
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+	net0 := Generate(Oldenburg, 0.05, 1)
+	db, err := Build(net0, Config{Scheme: HY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startDaemon(t, "HY", db)
+	if _, err := DialDatabase(addr, "wrong-name"); err == nil {
+		t.Error("unknown database accepted")
+	}
+	r, err := DialDatabase(addr, "HY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := r.ShortestPath(Point{}, Point{}); err == nil {
+		t.Error("query on closed connection succeeded")
+	}
+}
