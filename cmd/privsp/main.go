@@ -67,7 +67,8 @@ func main() {
 		}
 		fmt.Printf("conns: %d active, %d total\n", st.ActiveConns, st.TotalConns)
 		for _, db := range st.Databases {
-			fmt.Printf("%s (%s): %d queries, %d PIR pages served\n", db.Name, db.Scheme, db.Queries, db.PagesServed)
+			fmt.Printf("%s (%s): %d queries, %d PIR pages served, pool %d/%d busy (%d queued)\n",
+				db.Name, db.Scheme, db.Queries, db.PagesServed, db.BusyWorkers, db.Workers, db.QueuedReads)
 		}
 		return
 	}

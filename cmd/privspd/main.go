@@ -45,7 +45,7 @@ func main() {
 	cluster := flag.Int("cluster", 0, "PI* cluster pages")
 	landmarks := flag.Int("landmarks", 0, "LM anchors")
 	regions := flag.Int("regions", 0, "AF regions")
-	workers := flag.Int("workers", 0, "max concurrent PIR page reads (0 = 2x GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "max concurrent PIR page reads per database (0 = 2x GOMAXPROCS)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
 	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	flag.Parse()
@@ -167,7 +167,8 @@ func printStats(srv *server.Server) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "privspd: conns %d active / %d total", st.ActiveConns, st.TotalConns)
 	for _, db := range st.Databases {
-		fmt.Fprintf(&b, " | %s: %d queries, %d pages", db.Name, db.Queries, db.Pages)
+		fmt.Fprintf(&b, " | %s: %d queries, %d pages, pool %d/%d busy (%d queued)",
+			db.Name, db.Queries, db.Pages, db.BusyWorkers, db.Workers, db.QueuedReads)
 	}
 	log.Print(b.String())
 }

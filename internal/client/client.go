@@ -2,7 +2,9 @@
 // internal/wire protocol to a privspd daemon and implements lbs.Service, so
 // the exact same scheme query code that drives an in-process lbs.Server
 // drives a server across the network. One Client is one TCP connection and
-// runs one query at a time; concurrent queries use one Client each.
+// runs one query at a time; concurrent queries use one Client each — the
+// daemon executes their batched PIR reads in parallel on its per-database
+// worker pools.
 package client
 
 import (
@@ -191,7 +193,9 @@ func (c *Client) AbandonQuery() {
 	c.inQuery = false
 }
 
-// ServerStats fetches the daemon's serving counters. It must not run while
+// ServerStats fetches the daemon's serving counters, including the
+// per-database worker-pool gauges (pool size, busy workers, queued reads —
+// the saturation signals of the parallel read path). It must not run while
 // a query is open on this connection.
 func (c *Client) ServerStats() (wire.ServerStats, error) {
 	c.mu.Lock()

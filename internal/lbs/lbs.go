@@ -20,6 +20,8 @@ package lbs
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
@@ -29,22 +31,46 @@ import (
 )
 
 // Database is everything a scheme's build step produces: the public header,
-// the page files, and the public query plan.
+// the page files, and the public query plan. Files must not be mutated once
+// the database is served or File has been called: lookups go through a
+// lazily built name index.
 type Database struct {
 	Scheme string
 	Header []byte
 	Files  []*pagefile.File
 	Plan   plan.Plan
+
+	indexOnce sync.Once
+	byName    map[string]*pagefile.File
+	indexErr  error
 }
 
-// File returns the named file, or nil.
-func (db *Database) File(name string) *pagefile.File {
-	for _, f := range db.Files {
-		if f.Name() == name {
-			return f
+// index builds the name→file map once, rejecting duplicate names (two files
+// with one name would make every lookup — and therefore the served access
+// pattern — ambiguous). NewServer surfaces the error at host time.
+func (db *Database) index() error {
+	db.indexOnce.Do(func() {
+		m := make(map[string]*pagefile.File, len(db.Files))
+		for _, f := range db.Files {
+			if _, dup := m[f.Name()]; dup {
+				db.indexErr = fmt.Errorf("lbs: duplicate file name %q in %s database", f.Name(), db.Scheme)
+				return
+			}
+			m[f.Name()] = f
 		}
+		db.byName = m
+	})
+	return db.indexErr
+}
+
+// File returns the named file, or nil. Lookups are O(1) against the name
+// index (and nil for every name when the database holds duplicate names —
+// such a database is rejected at host time).
+func (db *Database) File(name string) *pagefile.File {
+	if db.index() != nil {
+		return nil
 	}
-	return nil
+	return db.byName[name]
 }
 
 // TotalBytes is the database size (header plus all page files), the space
@@ -157,20 +183,77 @@ func PyramidStores() StoreFactory {
 	}
 }
 
-// Server hosts one database behind a PIR interface.
+// ShardedORAMStores returns a StoreFactory backing each file with a
+// K-sharded square-root ORAM: real oblivious storage whose batched reads
+// parallelize across shards (see pir.ShardedORAM for the privacy dial).
+// Pass seed 0 in production — shuffle seeds then come from crypto/rand; a
+// non-zero seed makes the permutations reproducible, for tests only.
+func ShardedORAMStores(shards int, seed int64) StoreFactory {
+	return func(f *pagefile.File) (pir.Store, error) {
+		pages := make([][]byte, f.NumPages())
+		for i := range pages {
+			p, err := f.Page(i)
+			if err != nil {
+				return nil, err
+			}
+			pages[i] = p
+		}
+		return pir.NewShardedORAM(pages, f.PageSize(), shards, seed)
+	}
+}
+
+// Server hosts one database behind a PIR interface. Batched page reads fan
+// out across a bounded worker pool private to this server, so concurrent
+// serving of distinct databases never contends on shared locks.
 type Server struct {
 	db     *Database
 	model  costmodel.Params
 	stores map[string]pir.Store
+	// serial holds a per-store mutex for stores that are NOT BatchStores:
+	// one stateful ORAM structure admits exactly one read at a time.
+	serial map[string]*sync.Mutex
+
+	workers int
+	sem     chan struct{}
+	busy    atomic.Int32
+	queued  atomic.Int32
+}
+
+// ServerOption tunes a Server at construction.
+type ServerOption func(*Server)
+
+// WithWorkers bounds the number of concurrently executing PIR page reads on
+// this server (across all connections). n <= 1 serializes every read — the
+// historical behaviour and the default.
+func WithWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
 }
 
 // NewServer prepares PIR stores for every file and validates the PIR size
-// limit (§3.2: files beyond the SCP-supported size cannot be served).
-func NewServer(db *Database, model costmodel.Params, factory StoreFactory) (*Server, error) {
+// limit (§3.2: files beyond the SCP-supported size cannot be served) plus
+// the file-name index (duplicate names are rejected at host time).
+func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts ...ServerOption) (*Server, error) {
 	if factory == nil {
 		factory = PlainStores
 	}
-	s := &Server{db: db, model: model, stores: map[string]pir.Store{}}
+	if err := db.index(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		db:      db,
+		model:   model,
+		stores:  map[string]pir.Store{},
+		serial:  map[string]*sync.Mutex{},
+		workers: 1,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.sem = make(chan struct{}, s.workers)
 	for _, f := range db.Files {
 		if !model.SupportsFile(f.Size()) {
 			return nil, fmt.Errorf("lbs: file %s (%d bytes) exceeds the PIR interface limit of %d bytes",
@@ -181,6 +264,9 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory) (*Ser
 			return nil, fmt.Errorf("lbs: building PIR store for %s: %w", f.Name(), err)
 		}
 		s.stores[f.Name()] = st
+		if _, ok := st.(pir.BatchStore); !ok {
+			s.serial[f.Name()] = &sync.Mutex{}
+		}
 	}
 	return s, nil
 }
@@ -217,21 +303,107 @@ func (s *Server) Files() []FileInfo {
 func (s *Server) NextRound() error { return nil }
 
 // ReadPages retrieves pages through the PIR stores. Safe for concurrent use
-// when the stores are (pir.Plain is; the stateful ORAM stores are not).
+// by any number of connections: batches against a pir.BatchStore fan out
+// across the server's bounded worker pool, while stores without batch
+// support (the single-structure ORAMs) serialize on a per-store mutex.
 func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
 	st, ok := s.stores[file]
 	if !ok {
 		return nil, fmt.Errorf("lbs: no such file %q", file)
 	}
-	out := make([][]byte, len(pages))
-	for i, p := range pages {
-		data, err := st.Read(p)
-		if err != nil {
-			return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
+	bs, ok := st.(pir.BatchStore)
+	if !ok {
+		mu := s.serial[file]
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([][]byte, len(pages))
+		for i, p := range pages {
+			data, err := st.Read(p)
+			if err != nil {
+				return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
+			}
+			out[i] = data
 		}
-		out[i] = data
+		return out, nil
+	}
+
+	workers := s.workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers <= 1 {
+		s.acquire()
+		defer s.release()
+		out, err := bs.ReadBatch(pages)
+		if err != nil {
+			return nil, fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
+		}
+		if len(out) != len(pages) {
+			return nil, fmt.Errorf("lbs: PIR fetch %s: store returned %d pages, want %d", file, len(out), len(pages))
+		}
+		return out, nil
+	}
+
+	// Fan the batch out as contiguous sub-batches, one pool slot each; the
+	// split never spawns more goroutines than workers, so a hostile
+	// maximum-size batch cannot balloon goroutine memory.
+	out := make([][]byte, len(pages))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	per := (len(pages) + workers - 1) / workers
+	for start := 0; start < len(pages); start += per {
+		end := start + per
+		if end > len(pages) {
+			end = len(pages)
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			s.acquire()
+			defer s.release()
+			chunk, err := bs.ReadBatch(pages[start:end])
+			if err == nil && len(chunk) != end-start {
+				err = fmt.Errorf("store returned %d pages, want %d", len(chunk), end-start)
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			copy(out[start:end], chunk)
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
+}
+
+// acquire takes one pool slot, counting the wait in the queue gauge.
+func (s *Server) acquire() {
+	s.queued.Add(1)
+	s.sem <- struct{}{}
+	s.queued.Add(-1)
+	s.busy.Add(1)
+}
+
+func (s *Server) release() {
+	s.busy.Add(-1)
+	<-s.sem
+}
+
+// PoolStats snapshots the worker pool: its size, the reads executing right
+// now, and the reads waiting for a slot. The daemon exports these as
+// serving gauges.
+func (s *Server) PoolStats() (workers, busy, queued int) {
+	return s.workers, int(s.busy.Load()), int(s.queued.Load())
 }
 
 // Connect opens a client connection (one per query in the experiments).

@@ -1,7 +1,9 @@
 package lbs
 
 import (
+	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -42,6 +44,40 @@ func TestDatabaseAccessors(t *testing.T) {
 	}
 	if db.LargestFileBytes() != 4*64 {
 		t.Errorf("LargestFileBytes = %d", db.LargestFileBytes())
+	}
+}
+
+func TestDuplicateFileNamesRejected(t *testing.T) {
+	fa1 := pagefile.NewFile("Fa", 64)
+	fa1.MustAppendPage([]byte{1})
+	fa2 := pagefile.NewFile("Fa", 64)
+	fa2.MustAppendPage([]byte{2})
+	db := &Database{Scheme: "TEST", Files: []*pagefile.File{fa1, fa2}}
+	if _, err := NewServer(db, costmodel.Default(), nil); err == nil {
+		t.Error("database with duplicate file names hosted")
+	}
+	// The ambiguous name resolves to nothing rather than to either file.
+	if db.File("Fa") != nil {
+		t.Error("ambiguous name resolved")
+	}
+}
+
+func TestFileIndexLookups(t *testing.T) {
+	// Many files: the map-backed lookup must find each by name.
+	var files []*pagefile.File
+	for _, name := range []string{"Fl", "Fc", "Fd", "Fp", "Fs"} {
+		f := pagefile.NewFile(name, 32)
+		f.MustAppendPage([]byte(name))
+		files = append(files, f)
+	}
+	db := &Database{Scheme: "TEST", Files: files}
+	for _, name := range []string{"Fl", "Fc", "Fd", "Fp", "Fs"} {
+		if f := db.File(name); f == nil || f.Name() != name {
+			t.Errorf("File(%q) = %v", name, f)
+		}
+	}
+	if db.File("Fx") != nil {
+		t.Error("phantom file resolved")
 	}
 }
 
@@ -138,6 +174,96 @@ func TestFetchErrors(t *testing.T) {
 	if _, err := conn.Fetch("Fa", 99); err == nil {
 		t.Error("out-of-range page fetched")
 	}
+}
+
+// TestParallelReadPages drives the worker-pool fan-out: batches over a
+// BatchStore split across workers and reassemble in order, for every worker
+// count and store flavour, under concurrent connections.
+func TestParallelReadPages(t *testing.T) {
+	const pagesN = 40
+	f := pagefile.NewFile("Fbig", 64)
+	want := make([][]byte, pagesN)
+	for i := 0; i < pagesN; i++ {
+		want[i] = bytes.Repeat([]byte{byte(i + 1)}, 8)
+		f.MustAppendPage(want[i])
+	}
+	db := &Database{Scheme: "TEST", Header: []byte("h"), Files: []*pagefile.File{f}}
+
+	factories := map[string]StoreFactory{
+		"plain":   nil,
+		"sharded": ShardedORAMStores(4, 7),
+	}
+	for fname, factory := range factories {
+		for _, workers := range []int{1, 3, 8} {
+			srv, err := NewServer(db, costmodel.Default(), factory, WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w, _, _ := srv.PoolStats(); w != workers {
+				t.Fatalf("%s/w=%d: pool size %d", fname, workers, w)
+			}
+			batch := make([]int, pagesN)
+			for i := range batch {
+				batch[i] = (i * 7) % pagesN
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got, err := srv.ReadPages("Fbig", batch)
+					if err != nil {
+						t.Errorf("%s/w=%d: %v", fname, workers, err)
+						return
+					}
+					for i, p := range batch {
+						if !bytes.Equal(got[i][:8], want[p]) {
+							t.Errorf("%s/w=%d: slot %d wrong content", fname, workers, i)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if _, b, q := srv.PoolStats(); b != 0 || q != 0 {
+				t.Errorf("%s/w=%d: gauges busy=%d queued=%d after drain", fname, workers, b, q)
+			}
+			if _, err := srv.ReadPages("Fbig", []int{pagesN}); err == nil {
+				t.Errorf("%s/w=%d: out-of-range batch accepted", fname, workers)
+			}
+		}
+	}
+}
+
+// TestSerialStoresServeConcurrently: stores without batch support (one
+// stateful ORAM) are serialized by the per-store mutex, so concurrent
+// connections still get correct pages (the race detector guards the rest).
+func TestSerialStoresServeConcurrently(t *testing.T) {
+	db := sampleDB(t)
+	srv, err := NewServer(db, costmodel.Default(), ORAMStores(1), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p := (c + i) % 4
+				got, err := srv.ReadPages("Fa", []int{p})
+				if err != nil {
+					t.Errorf("conn %d: %v", c, err)
+					return
+				}
+				if got[0][0] != byte(p) {
+					t.Errorf("conn %d: page %d wrong content", c, p)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }
 
 func TestORAMStoresServeCorrectly(t *testing.T) {

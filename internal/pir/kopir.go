@@ -149,6 +149,10 @@ func (k *KOPIR) isQR(y *big.Int) bool {
 	return big.Jacobi(yp, k.p) == 1 && big.Jacobi(yq, k.q) == 1
 }
 
+// ReadBatch implements BatchStore: bit queries touch only the immutable
+// page matrix and the public modulus, so batched reads are independent.
+func (k *KOPIR) ReadBatch(pages []int) ([][]byte, error) { return readEach(k, pages) }
+
 // NumPages implements Store.
 func (k *KOPIR) NumPages() int { return k.numPages }
 

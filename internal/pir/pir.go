@@ -31,6 +31,44 @@ type Store interface {
 	PageSize() int
 }
 
+// BatchStore is a Store whose reads within a protocol round are independent
+// and may execute concurrently. ReadBatch retrieves several pages at once
+// and returns them in request order; implementations must be safe for
+// concurrent use — callers (the per-database worker pool of lbs.Server) fan
+// sub-batches out across goroutines, and several connections may batch-read
+// the same store at the same time. Implementations must NOT spawn their own
+// concurrency: the caller's pool is the single knob bounding parallel reads
+// per database, and a ReadBatch call on its own executes serially.
+//
+// Plain, XORPIR and KOPIR implement it because their reads touch no mutable
+// state (XORPIR's test-visible last-query fields are mutex-guarded).
+// ShardedORAM implements it by striping pages over independently locked
+// sqrt-ORAM shards, so concurrent callers serialize only on the shards they
+// share while the physical access pattern within each shard stays
+// oblivious. The plain SqrtORAM and PyramidORAM deliberately do NOT
+// implement it: one stateful structure serializes every read, and
+// lbs.Server falls back to a per-store mutex for them.
+type BatchStore interface {
+	Store
+	// ReadBatch returns the content of the given logical pages, in request
+	// order. It fails on the first page error.
+	ReadBatch(pages []int) ([][]byte, error)
+}
+
+// readEach is the sequential ReadBatch shared by stores whose single reads
+// are already cheap or internally parallel.
+func readEach(s Store, pages []int) ([][]byte, error) {
+	out := make([][]byte, len(pages))
+	for i, p := range pages {
+		data, err := s.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
 // Plain is a non-private Store: direct reads. The obfuscation baseline and
 // build-time verification use it; it also demonstrates that the schemes are
 // agnostic to the PIR implementation behind the interface.
@@ -44,7 +82,7 @@ func NewPlain(pages [][]byte, pageSize int) *Plain {
 	return &Plain{pages: pages, pageSize: pageSize}
 }
 
-// Read returns page i.
+// Read returns page i. Safe for concurrent use: the page set is immutable.
 func (p *Plain) Read(page int) ([]byte, error) {
 	if page < 0 || page >= len(p.pages) {
 		return nil, fmt.Errorf("pir: page %d of %d", page, len(p.pages))
@@ -52,8 +90,23 @@ func (p *Plain) Read(page int) ([]byte, error) {
 	return p.pages[page], nil
 }
 
+// ReadBatch implements BatchStore.
+func (p *Plain) ReadBatch(pages []int) ([][]byte, error) { return readEach(p, pages) }
+
 // NumPages returns the page count.
 func (p *Plain) NumPages() int { return len(p.pages) }
 
 // PageSize returns the page size.
 func (p *Plain) PageSize() int { return p.pageSize }
+
+// The concurrency contract, enforced at compile time: the stateless (or
+// internally locked) stores batch, the single-structure ORAMs are Store
+// only and get serialized by the serving layer.
+var (
+	_ BatchStore = (*Plain)(nil)
+	_ BatchStore = (*XORPIR)(nil)
+	_ BatchStore = (*KOPIR)(nil)
+	_ BatchStore = (*ShardedORAM)(nil)
+	_ Store      = (*SqrtORAM)(nil)
+	_ Store      = (*PyramidORAM)(nil)
+)

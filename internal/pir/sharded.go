@@ -1,0 +1,151 @@
+package pir
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// ShardedORAM stripes the logical pages over K independent square-root
+// ORAMs so concurrent reads proceed in parallel: logical page p lives at
+// local index p/K of shard p mod K, and each shard is a complete SqrtORAM
+// — its own AES-CTR/HMAC keys, its own shelter, its own reshuffle schedule
+// — guarded by its own mutex. The structure spawns no goroutines of its
+// own: concurrent callers (the worker pool of lbs.Server) serialize only
+// on the shards they share, never on a structure-wide lock, so up to K
+// callers execute reads at the same time.
+//
+// Privacy: within a shard the physical access pattern is provably
+// independent of the logical one (each shard is an unmodified SqrtORAM, and
+// the statistical obliviousness tests check the per-shard pattern against
+// the logical sequence). Across shards the adversary additionally learns
+// which shard served each read, i.e. page mod K — the classic
+// parallelism/privacy dial of partition-based ORAMs. K=1 degenerates to a
+// single SqrtORAM with no extra leakage; the query plans of the paper's
+// schemes fetch fixed page counts per round, so deployments pick K per
+// file to trade residue-class leakage for read throughput.
+type ShardedORAM struct {
+	numPages int
+	pageSize int
+	shards   []*oramShard
+}
+
+// oramShard is one independently locked sqrt-ORAM over a residue class of
+// the logical pages.
+type oramShard struct {
+	mu   sync.Mutex
+	oram *SqrtORAM
+}
+
+// NewShardedORAM builds K shards over the given plaintext pages. A
+// non-zero seed derives each shard's shuffle PRNG from seed+shard, so runs
+// are reproducible while shards stay mutually independent — for tests only:
+// an adversary who learns the seed can invert the permutations. seed 0
+// draws every shard's shuffle seed from crypto/rand, the production mode.
+// The encryption keys are always fresh from crypto/rand, one set per shard.
+func NewShardedORAM(pages [][]byte, pageSize, shards int, seed int64) (*ShardedORAM, error) {
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("pir: empty file")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("pir: %d shards", shards)
+	}
+	if shards > len(pages) {
+		shards = len(pages) // never build empty shards
+	}
+	o := &ShardedORAM{
+		numPages: len(pages),
+		pageSize: pageSize,
+		shards:   make([]*oramShard, shards),
+	}
+	for s := 0; s < shards; s++ {
+		var local [][]byte
+		for p := s; p < len(pages); p += shards {
+			local = append(local, pages[p])
+		}
+		shardSeed := seed + int64(s)
+		if seed == 0 {
+			var buf [8]byte
+			if _, err := rand.Read(buf[:]); err != nil {
+				return nil, err
+			}
+			shardSeed = int64(binary.LittleEndian.Uint64(buf[:]))
+		}
+		oram, err := NewSqrtORAM(local, pageSize, shardSeed)
+		if err != nil {
+			return nil, fmt.Errorf("pir: shard %d: %w", s, err)
+		}
+		o.shards[s] = &oramShard{oram: oram}
+	}
+	return o, nil
+}
+
+// Read implements Store: it locks the one shard holding the page.
+func (o *ShardedORAM) Read(page int) ([]byte, error) {
+	if page < 0 || page >= o.numPages {
+		return nil, fmt.Errorf("pir: page %d of %d", page, o.numPages)
+	}
+	sh := o.shards[page%len(o.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.oram.Read(page / len(o.shards))
+}
+
+// ReadBatch implements BatchStore: pages are grouped by shard so each
+// shard lock is taken exactly once, and the groups run sequentially within
+// this call — a ReadBatch on its own is strictly serial, which keeps a
+// one-worker pool genuinely single-threaded. Parallelism comes from
+// concurrent ReadBatch/Read callers: while this call works inside shard A,
+// another caller proceeds through shard B. Within a shard the group runs
+// in request order, so each shard's access pattern stays exactly that of a
+// serial SqrtORAM.
+func (o *ShardedORAM) ReadBatch(pages []int) ([][]byte, error) {
+	for _, p := range pages {
+		if p < 0 || p >= o.numPages {
+			return nil, fmt.Errorf("pir: page %d of %d", p, o.numPages)
+		}
+	}
+	out := make([][]byte, len(pages))
+	K := len(o.shards)
+	// Group batch positions by shard, preserving request order per shard.
+	groups := make(map[int][]int, K)
+	for i, p := range pages {
+		groups[p%K] = append(groups[p%K], i)
+	}
+	for s, idxs := range groups {
+		sh := o.shards[s]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			data, err := sh.oram.Read(pages[i] / K)
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			out[i] = data
+		}
+		sh.mu.Unlock()
+	}
+	return out, nil
+}
+
+// NumPages implements Store.
+func (o *ShardedORAM) NumPages() int { return o.numPages }
+
+// PageSize implements Store.
+func (o *ShardedORAM) PageSize() int { return o.pageSize }
+
+// NumShards returns K.
+func (o *ShardedORAM) NumShards() int { return len(o.shards) }
+
+// ShardLog returns the physical access log of one shard (for the
+// obliviousness tests and audits). The caller must not race it against
+// in-flight reads.
+func (o *ShardedORAM) ShardLog(shard int) *AccessLog {
+	return o.shards[shard].oram.Log()
+}
+
+// ShardSize returns the number of logical pages shard holds.
+func (o *ShardedORAM) ShardSize(shard int) int {
+	return o.shards[shard].oram.NumPages()
+}

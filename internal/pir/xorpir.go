@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // XORPIR is the two-server information-theoretic PIR of Chor, Goldreich,
@@ -18,6 +19,9 @@ type XORPIR struct {
 	numPages int
 	pageSize int
 	rng      io.Reader
+	// lastMu guards the last-query fields: reads are otherwise stateless
+	// and run concurrently under a batch fan-out.
+	lastMu sync.Mutex
 	// QueriesSeen exposes the last query vectors each server received, so
 	// tests can verify the servers' views are uniform and uncorrelated
 	// with the target.
@@ -75,7 +79,9 @@ func (x *XORPIR) Read(page int) ([]byte, error) {
 	copy(selB, selA)
 	selB[page/8] ^= 1 << (page % 8)
 
+	x.lastMu.Lock()
 	x.LastQueryA, x.LastQueryB = selA, selB
+	x.lastMu.Unlock()
 	ra := x.a.answer(selA)
 	rb := x.b.answer(selB)
 	out := make([]byte, x.pageSize)
@@ -84,6 +90,10 @@ func (x *XORPIR) Read(page int) ([]byte, error) {
 	}
 	return out, nil
 }
+
+// ReadBatch implements BatchStore: each read samples fresh query vectors
+// against the immutable replicas, so batched reads are independent.
+func (x *XORPIR) ReadBatch(pages []int) ([][]byte, error) { return readEach(x, pages) }
 
 // NumPages implements Store.
 func (x *XORPIR) NumPages() int { return x.numPages }

@@ -25,7 +25,9 @@ import (
 // Options tunes the daemon.
 type Options struct {
 	// Workers bounds the number of concurrently executing PIR page reads
-	// across all connections. 0 means 2×GOMAXPROCS.
+	// per hosted database, across all of its connections. Every database
+	// gets its own pool of this size, so concurrent sessions on distinct
+	// databases never serialize on each other. 0 means 2×GOMAXPROCS.
 	Workers int
 	// MaxFrame bounds an accepted frame; 0 means wire.DefaultMaxFrame.
 	MaxFrame int
@@ -64,7 +66,6 @@ func (h *hosted) addTrace(tr string) {
 // stops accepting and waits for in-flight sessions.
 type Server struct {
 	opts Options
-	sem  chan struct{} // bounded worker pool for PIR reads
 
 	mu     sync.Mutex
 	dbs    map[string]*hosted
@@ -94,26 +95,26 @@ func New(opts Options) *Server {
 	}
 	return &Server{
 		opts:  opts,
-		sem:   make(chan struct{}, opts.Workers),
 		dbs:   map[string]*hosted{},
 		conns: map[net.Conn]struct{}{},
 	}
 }
 
 // Host registers a built database under the given name (clients select it
-// in their Hello). The database is served with PlainStores, which are safe
-// for the daemon's concurrent reads.
+// in their Hello). The database is served with PlainStores behind a worker
+// pool of Options.Workers slots, private to this database.
 func (s *Server) Host(name string, db *lbs.Database, model costmodel.Params) error {
-	lsrv, err := lbs.NewServer(db, model, nil)
+	lsrv, err := lbs.NewServer(db, model, nil, lbs.WithWorkers(s.opts.Workers))
 	if err != nil {
 		return err
 	}
 	return s.HostLBS(name, lsrv)
 }
 
-// HostLBS registers an already-prepared lbs.Server. Its PIR stores must
-// support concurrent reads (pir.Plain does; the stateful ORAM stores
-// do not).
+// HostLBS registers an already-prepared lbs.Server, keeping whatever worker
+// pool it was constructed with (lbs.WithWorkers). Any store mix is safe to
+// serve concurrently: batch-capable stores fan out, single-structure ORAM
+// stores serialize on their per-store mutex inside lbs.Server.
 func (s *Server) HostLBS(name string, lsrv *lbs.Server) error {
 	if name == "" {
 		return errors.New("server: empty database name")
@@ -249,77 +250,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// readPage routes one PIR page read through the bounded worker pool.
-func (s *Server) readPage(h *hosted, file string, page int) ([]byte, error) {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-	pages, err := h.srv.ReadPages(file, []int{page})
-	if err != nil {
-		return nil, err
-	}
-	return pages[0], nil
-}
-
-// readBatch serves one batched Fetch, fanning the reads out over the pool.
-// The fan-out spawns at most Workers goroutines regardless of batch size,
-// so a hostile maximum-count Fetch cannot balloon goroutine memory, and
-// page indices are validated up front.
+// readBatch serves one batched Fetch through the database's own worker
+// pool (lbs.Server.ReadPages fans the batch out and bounds the goroutines).
+// Page indices are validated up front so the error text names the hostile
+// index instead of surfacing from deep inside a store.
 func (s *Server) readBatch(h *hosted, file string, pages []uint32) ([][]byte, error) {
 	info, err := h.srv.FileInfo(file)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range pages {
+	idx := make([]int, len(pages))
+	for i, p := range pages {
 		if int64(p) >= int64(info.NumPages) {
 			return nil, fmt.Errorf("page %d out of range for %s (%d pages)", p, file, info.NumPages)
 		}
+		idx[i] = int(p)
 	}
-	out := make([][]byte, len(pages))
-	if len(pages) == 1 {
-		p, err := s.readPage(h, file, int(pages[0]))
-		if err != nil {
-			return nil, err
-		}
-		out[0] = p
-		return out, nil
-	}
-	workers := len(pages)
-	if workers > cap(s.sem) {
-		workers = cap(s.sem)
-	}
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		errMu    sync.Mutex
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pages) {
-					return
-				}
-				data, err := s.readPage(h, file, int(pages[i]))
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					return
-				}
-				out[i] = data
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return h.srv.ReadPages(file, idx)
 }
 
 // Traces returns the retained server-observed traces of the named database,
@@ -355,11 +302,15 @@ func (s *Server) Stats() wire.ServerStats {
 		TotalConns:  s.totalConns.Load(),
 	}
 	for _, h := range dbs {
+		workers, busy, queued := h.srv.PoolStats()
 		st.Databases = append(st.Databases, wire.DBStats{
-			Name:    h.name,
-			Scheme:  h.srv.Database().Scheme,
-			Queries: h.queries.Load(),
-			Pages:   h.pages.Load(),
+			Name:        h.name,
+			Scheme:      h.srv.Database().Scheme,
+			Queries:     h.queries.Load(),
+			Pages:       h.pages.Load(),
+			Workers:     uint32(workers),
+			BusyWorkers: uint32(busy),
+			QueuedReads: uint32(queued),
 		})
 	}
 	return st

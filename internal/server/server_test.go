@@ -15,15 +15,22 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbs"
+	"repro/internal/scheme/af"
 	"repro/internal/scheme/base"
 	"repro/internal/scheme/ci"
 	"repro/internal/scheme/hy"
+	"repro/internal/scheme/lm"
 	"repro/internal/scheme/pi"
 	"repro/internal/wire"
 )
 
 // The strong schemes served over the wire in these tests.
 var strongSchemes = []string{"CI", "PI", "HY"}
+
+// allSchemes additionally covers the weaker plan-conforming baselines; the
+// Theorem 1 trace-invariance property must hold for every scheme that
+// publishes a plan.
+var allSchemes = []string{"CI", "PI", "HY", "AF", "LM"}
 
 var (
 	fixtureOnce sync.Once
@@ -49,6 +56,14 @@ func fixture(t testing.TB) (*graph.Graph, map[string]*lbs.Database) {
 		}
 		if dbs["HY"], err = hy.Build(g, hy.DefaultOptions()); err != nil {
 			fixtureErr = fmt.Errorf("HY build: %w", err)
+			return
+		}
+		if dbs["AF"], err = af.Build(g, af.DefaultOptions()); err != nil {
+			fixtureErr = fmt.Errorf("AF build: %w", err)
+			return
+		}
+		if dbs["LM"], err = lm.Build(g, lm.DefaultOptions()); err != nil {
+			fixtureErr = fmt.Errorf("LM build: %w", err)
 			return
 		}
 		fixtureG, fixtureDBs = g, dbs
@@ -109,6 +124,10 @@ func queryScheme(svc lbs.Service, scheme string, s, d graph.NodeID, g *graph.Gra
 		return pi.Query(svc, g.Point(s), g.Point(d))
 	case "HY":
 		return hy.Query(svc, g.Point(s), g.Point(d))
+	case "AF":
+		return af.Query(svc, g.Point(s), g.Point(d))
+	case "LM":
+		return lm.Query(svc, g.Point(s), g.Point(d))
 	}
 	return nil, fmt.Errorf("unknown scheme %s", scheme)
 }

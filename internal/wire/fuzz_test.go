@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary byte streams at the frame reader: it
+// must either return a well-formed (type, payload) pair or an error — never
+// panic, never hang, never allocate beyond the frame limit.
+func FuzzDecodeFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, MsgHello, Hello{Version: ProtocolVersion, Database: "CI"}.Encode())
+	f.Add(seed.Bytes())
+	var batch bytes.Buffer
+	WriteFrame(&batch, MsgFetch, Fetch{File: "Fd", Pages: []uint32{0, 7, 1 << 30}}.Encode())
+	f.Add(batch.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, byte(MsgNextRound)})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile length header
+	f.Add([]byte{0, 0, 0, 10, byte(MsgHello), 1, 2, 3})
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), maxFrame)
+		if err != nil {
+			return
+		}
+		if len(payload) > maxFrame {
+			t.Fatalf("payload of %d bytes exceeds the %d limit", len(payload), maxFrame)
+		}
+		// A successfully read frame must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf, maxFrame)
+		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip diverged: %v, %s vs %s", err, typ2, typ)
+		}
+	})
+}
+
+// FuzzDecodeBatchRequest fuzzes the batched-Fetch payload decoder — the
+// message a hostile client controls most directly. Any payload the decoder
+// accepts must re-encode to the identical bytes (the codec is canonical),
+// and its page count must respect the 16-bit batch bound.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(Fetch{File: "Fd", Pages: []uint32{0, 1, 2}}.Encode())
+	f.Add(Fetch{File: "", Pages: nil}.Encode())
+	f.Add(Fetch{File: "Fl", Pages: []uint32{0xFFFFFFFF}}.Encode())
+	f.Add([]byte{0, 1, 'F', 0, 5, 0, 0}) // count promises pages that never arrive
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFetch(data)
+		if err != nil {
+			return
+		}
+		if len(m.Pages) > MaxFetchBatch {
+			t.Fatalf("decoded %d pages, beyond the %d batch bound", len(m.Pages), MaxFetchBatch)
+		}
+		re := m.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, re)
+		}
+		m2, err := DecodeFetch(re)
+		if err != nil || m2.File != m.File || len(m2.Pages) != len(m.Pages) {
+			t.Fatalf("round trip diverged: %v", err)
+		}
+	})
+}

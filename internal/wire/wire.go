@@ -29,7 +29,8 @@ import (
 )
 
 // ProtocolVersion is bumped on any incompatible frame or payload change.
-const ProtocolVersion = 1
+// Version 2 added the worker-pool gauges to the per-database stats.
+const ProtocolVersion = 2
 
 // DefaultMaxFrame bounds a single frame's payload; it must accommodate the
 // largest header file and the largest batched page fetch.
@@ -370,12 +371,18 @@ func DecodeQueryDone(b []byte) (QueryDone, error) {
 	return m, decErr("QueryDone", d)
 }
 
-// DBStats are the per-database serving counters.
+// DBStats are the per-database serving counters and worker-pool gauges.
 type DBStats struct {
 	Name    string
 	Scheme  string
 	Queries uint64 // completed query sessions
 	Pages   uint64 // PIR pages served
+	// Worker-pool gauges: pool size, reads executing now, reads waiting
+	// for a slot. Every database has its own pool, so these expose
+	// per-database saturation.
+	Workers     uint32
+	BusyWorkers uint32
+	QueuedReads uint32
 }
 
 // ServerStats is the daemon's aggregate serving state.
@@ -396,6 +403,9 @@ func (m ServerStats) Encode() []byte {
 		putString(e, db.Scheme)
 		e.U64(db.Queries)
 		e.U64(db.Pages)
+		e.U32(db.Workers)
+		e.U32(db.BusyWorkers)
+		e.U32(db.QueuedReads)
 	}
 	return e.Bytes()
 }
@@ -407,10 +417,13 @@ func DecodeServerStats(b []byte) (ServerStats, error) {
 	n := int(d.U16())
 	for i := 0; i < n && d.Err() == nil; i++ {
 		m.Databases = append(m.Databases, DBStats{
-			Name:    getString(d),
-			Scheme:  getString(d),
-			Queries: d.U64(),
-			Pages:   d.U64(),
+			Name:        getString(d),
+			Scheme:      getString(d),
+			Queries:     d.U64(),
+			Pages:       d.U64(),
+			Workers:     d.U32(),
+			BusyWorkers: d.U32(),
+			QueuedReads: d.U32(),
 		})
 	}
 	return m, decErr("Stats", d)

@@ -140,8 +140,8 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		ActiveConns: 3,
 		TotalConns:  128,
 		Databases: []DBStats{
-			{Name: "CI", Scheme: "CI", Queries: 10, Pages: 170},
-			{Name: "HY", Scheme: "HY", Queries: 2, Pages: 44},
+			{Name: "CI", Scheme: "CI", Queries: 10, Pages: 170, Workers: 8, BusyWorkers: 3, QueuedReads: 1},
+			{Name: "HY", Scheme: "HY", Queries: 2, Pages: 44, Workers: 4},
 		},
 	}
 	got, err := DecodeServerStats(m.Encode())

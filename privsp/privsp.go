@@ -458,12 +458,18 @@ func (r *RemoteServer) ServerTrace() string {
 	return r.lastTrace
 }
 
-// DatabaseStats are one hosted database's serving counters.
+// DatabaseStats are one hosted database's serving counters and worker-pool
+// gauges.
 type DatabaseStats struct {
 	Name        string
 	Scheme      Scheme
 	Queries     uint64
 	PagesServed uint64
+	// Workers is the database's PIR read pool size; BusyWorkers and
+	// QueuedReads gauge its saturation at snapshot time.
+	Workers     int
+	BusyWorkers int
+	QueuedReads int
 }
 
 // ServiceStats is a daemon's aggregate serving state.
@@ -488,6 +494,9 @@ func (r *RemoteServer) Stats() (ServiceStats, error) {
 			Scheme:      Scheme(db.Scheme),
 			Queries:     db.Queries,
 			PagesServed: db.Pages,
+			Workers:     int(db.Workers),
+			BusyWorkers: int(db.BusyWorkers),
+			QueuedReads: int(db.QueuedReads),
 		})
 	}
 	return st, nil

@@ -93,6 +93,14 @@ func TestRemoteDialEndToEnd(t *testing.T) {
 	if st.Databases[0].Scheme != CI || st.Databases[0].PagesServed == 0 {
 		t.Errorf("database stats = %+v", st.Databases[0])
 	}
+	// The worker-pool gauges travel the wire: the pool exists (size > 0)
+	// and is idle between queries.
+	if st.Databases[0].Workers <= 0 {
+		t.Errorf("pool size gauge = %d, want > 0", st.Databases[0].Workers)
+	}
+	if st.Databases[0].BusyWorkers != 0 || st.Databases[0].QueuedReads != 0 {
+		t.Errorf("idle daemon gauges = %d busy, %d queued", st.Databases[0].BusyWorkers, st.Databases[0].QueuedReads)
+	}
 }
 
 // TestDialErrors covers the connection-level failure modes.
