@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/lbs"
 	"repro/internal/pagefile"
 	"repro/internal/pir"
@@ -114,7 +116,7 @@ func (s seekStore) ReadBatch(pages []int) ([][]byte, error) {
 }
 
 func seekStores(seek time.Duration) lbs.StoreFactory {
-	return func(f *pagefile.File) (pir.Store, error) {
+	return func(f pagefile.Reader) (pir.Store, error) {
 		st, err := lbs.PlainStores(f)
 		if err != nil {
 			return nil, err
@@ -200,6 +202,65 @@ func BenchmarkBatchRead(b *testing.B) {
 				b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
 			})
 		}
+	}
+}
+
+// BenchmarkServeDiskVsRAM runs full private CI queries against the same
+// database served three ways: from the in-memory build output, and from a
+// .psdb container on disk with the page cache off and at the default size.
+// The comparison is what justifies DefaultCachePages: with the cache on,
+// the hot lookup/index pages stay resident and disk-backed query latency
+// lands within noise of RAM, so the default can stay small (256 pages = 1
+// MB per file at 4 KB pages).
+func BenchmarkServeDiskVsRAM(b *testing.B) {
+	g := gen.GeneratePreset(gen.Oldenburg, 0.05)
+	db, err := ci.Build(g, ci.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := pagefile.NewEnc(256)
+	db.Plan.Encode(enc)
+	path := filepath.Join(b.TempDir(), "ci.psdb")
+	if err := pagefile.WriteContainer(path, pagefile.ContainerSpec{
+		Scheme: db.Scheme, Header: db.Header, Plan: enc.Bytes(), Files: db.Files,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	diskDB := func(cachePages int) *lbs.Database {
+		c, err := pagefile.OpenContainer(path, pagefile.WithCachePages(cachePages))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		files := make([]pagefile.Reader, len(c.Files))
+		for i, f := range c.Files {
+			files[i] = f
+		}
+		return &lbs.Database{Scheme: c.Scheme, Header: c.Header, Files: files, Plan: db.Plan}
+	}
+	variants := []struct {
+		name string
+		db   *lbs.Database
+	}{
+		{"ram", db},
+		{"disk/cache=0", diskDB(0)},
+		{fmt.Sprintf("disk/cache=%d", pagefile.DefaultCachePages), diskDB(pagefile.DefaultCachePages)},
+	}
+	src, dst := g.Point(0), g.Point(graph.NodeID(g.NumNodes()-1))
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			srv, err := lbs.NewServer(v.db, costmodel.Default(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ci.Query(srv, src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	privsp generate -preset Argentina -scale 0.05
 //	privsp build    -preset Oldenburg -scale 0.1 -scheme CI
+//	privsp build    -preset Oldenburg -scale 0.1 -scheme CI -out ci.psdb
 //	privsp plan     -preset Oldenburg -scale 0.1 -scheme HY -threshold 20
 //	privsp query    -preset Oldenburg -scale 0.1 -scheme PI -s 3 -t 99
 //	privsp audit    -preset Oldenburg -scale 0.1 -scheme CI
@@ -48,8 +49,20 @@ func main() {
 	dstNode := fs.Int("t", 1, "query destination node id")
 	remote := fs.String("remote", "", "privspd daemon address; query/stats run over the wire")
 	database := fs.String("db", "", "remote database name (empty = the daemon's sole database)")
+	out := fs.String("out", "", "build: write the database as a .psdb container to this path")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *out != "" {
+		// Reject up front: build is the only writer, OBF has nothing to
+		// write, and a silently dropped -out (or one rejected after minutes
+		// of preprocessing) is worse than an immediate error.
+		if cmd != "build" {
+			fatal(fmt.Errorf("-out only applies to build"))
+		}
+		if privsp.Scheme(*scheme) == privsp.OBF {
+			fatal(fmt.Errorf("OBF has no page files to persist; -out cannot apply"))
+		}
 	}
 
 	if cmd == "stats" {
@@ -103,6 +116,12 @@ func main() {
 			fmt.Println("query plan:", pl)
 		} else {
 			fmt.Println("query plan: none (obfuscation baseline leaks its access pattern)")
+		}
+		if *out != "" {
+			if err := db.Save(*out); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved container %s (serve it with: privspd -db %s)\n", *out, *out)
 		}
 	case "audit":
 		// Play the Theorem 1 indistinguishability game against the built

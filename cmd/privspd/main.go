@@ -1,19 +1,23 @@
-// Command privspd is the networked LBS daemon: it builds (or loads) a road
-// network, pre-processes it under one or more privacy schemes, and serves
-// the resulting databases over TCP with the wire protocol of internal/wire.
-// Remote clients connect with privsp.Dial (or privsp query -remote) and run
-// the multi-round PIR protocol; the daemon observes only the public query
-// plan's access pattern.
+// Command privspd is the networked LBS daemon: it loads prebuilt database
+// containers — or builds a road network and pre-processes it under one or
+// more privacy schemes — and serves the resulting databases over TCP with
+// the wire protocol of internal/wire. Remote clients connect with
+// privsp.Dial (or privsp query -remote) and run the multi-round PIR
+// protocol; the daemon observes only the public query plan's access
+// pattern.
 //
 // Usage:
 //
 //	privspd -listen :7465 -preset Oldenburg -scale 0.05 -schemes CI,PI,HY
 //	privspd -listen :7465 -nodes oldb.nodes -edges oldb.edges -schemes CI
+//	privspd -listen :7465 -db ci.psdb,pi.psdb
 //
-// Each scheme is hosted as a database named after it; clients select one
-// with privsp.DialDatabase (or take the sole database when only one scheme
-// is served). SIGINT/SIGTERM trigger a graceful shutdown that waits for
-// in-flight sessions.
+// The -db form loads containers written by "privsp build -out" instead of
+// re-running the (potentially multi-hour, §7) preprocessing at startup; it
+// is mutually exclusive with the build-path flags. Each database is hosted
+// under its scheme name; clients select one with privsp.DialDatabase (or
+// take the sole database when only one is served). SIGINT/SIGTERM trigger
+// a graceful shutdown that waits for in-flight sessions.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 	nodesFile := flag.String("nodes", "", "node file ('id x y' lines); overrides -preset together with -edges")
 	edgesFile := flag.String("edges", "", "edge file ('id from to weight' lines)")
 	schemes := flag.String("schemes", "CI", "comma-separated schemes to host: CI, PI, PI*, HY, LM, AF")
+	dbFiles := flag.String("db", "", "comma-separated .psdb containers to serve instead of building (see privsp build -out)")
 	pageSize := flag.Int("page", 0, "page size in bytes (0 = Table 2 default)")
 	threshold := flag.Int("threshold", 0, "HY threshold")
 	cluster := flag.Int("cluster", 0, "PI* cluster pages")
@@ -53,45 +58,65 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("")
 
-	net, desc, err := loadNetwork(*preset, *scale, *seed, *nodesFile, *edgesFile)
-	if err != nil {
+	// Validate the whole flag combination up front: a bad scheme name or a
+	// contradictory pairing must fail here, not minutes into a network
+	// build.
+	var explicit []string
+	flag.Visit(func(f *flag.Flag) { explicit = append(explicit, f.Name) })
+	cfg := daemonConfig{
+		DBFiles:   splitList(*dbFiles),
+		Schemes:   splitList(*schemes),
+		Preset:    *preset,
+		NodesFile: *nodesFile,
+		EdgesFile: *edgesFile,
+		Explicit:  explicit,
+	}
+	if err := cfg.validate(); err != nil {
 		log.Fatalf("privspd: %v", err)
 	}
-	log.Printf("privspd: network %s: %d nodes, %d edges", desc, net.NumNodes(), net.NumEdges())
 
 	srv := server.New(server.Options{Workers: *workers, Logf: log.Printf})
-	hosted := 0
-	for _, name := range strings.Split(*schemes, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	if len(cfg.DBFiles) > 0 {
+		for _, path := range cfg.DBFiles {
+			start := time.Now()
+			db, err := privsp.Open(path)
+			if err != nil {
+				log.Fatalf("privspd: %v", err)
+			}
+			name := string(db.Scheme())
+			if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+				log.Fatalf("privspd: hosting %s as %q: %v", path, name, err)
+			}
+			log.Printf("privspd: hosted %s from %s: %.2f MB, plan %s (loaded in %v — no rebuild)",
+				name, path, float64(db.TotalBytes())/(1<<20), db.Plan(), time.Since(start).Round(time.Millisecond))
 		}
-		cfg := privsp.Config{
-			Scheme:       privsp.Scheme(name),
-			PageSize:     *pageSize,
-			Threshold:    *threshold,
-			ClusterPages: *cluster,
-			Landmarks:    *landmarks,
-			Regions:      *regions,
-			Seed:         *seed,
-		}
-		if cfg.Scheme == privsp.OBF {
-			log.Fatalf("privspd: OBF has no PIR database and cannot be served remotely")
-		}
-		start := time.Now()
-		db, err := privsp.Build(net, cfg)
+	} else {
+		net, desc, err := loadNetwork(*preset, *scale, *seed, *nodesFile, *edgesFile)
 		if err != nil {
-			log.Fatalf("privspd: building %s: %v", name, err)
+			log.Fatalf("privspd: %v", err)
 		}
-		if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
-			log.Fatalf("privspd: hosting %s: %v", name, err)
+		log.Printf("privspd: network %s: %d nodes, %d edges", desc, net.NumNodes(), net.NumEdges())
+		for _, name := range cfg.Schemes {
+			bcfg := privsp.Config{
+				Scheme:       privsp.Scheme(name),
+				PageSize:     *pageSize,
+				Threshold:    *threshold,
+				ClusterPages: *cluster,
+				Landmarks:    *landmarks,
+				Regions:      *regions,
+				Seed:         *seed,
+			}
+			start := time.Now()
+			db, err := privsp.Build(net, bcfg)
+			if err != nil {
+				log.Fatalf("privspd: building %s: %v", name, err)
+			}
+			if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+				log.Fatalf("privspd: hosting %s: %v", name, err)
+			}
+			log.Printf("privspd: hosted %s: %.2f MB, plan %s (built in %v)",
+				name, float64(db.TotalBytes())/(1<<20), db.Plan(), time.Since(start).Round(time.Millisecond))
 		}
-		log.Printf("privspd: hosted %s: %.2f MB, plan %s (built in %v)",
-			name, float64(db.TotalBytes())/(1<<20), db.Plan(), time.Since(start).Round(time.Millisecond))
-		hosted++
-	}
-	if hosted == 0 {
-		log.Fatal("privspd: no schemes to host")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,10 +145,93 @@ func main() {
 	}
 }
 
-func loadNetwork(preset string, scale float64, seed int64, nodesFile, edgesFile string) (*privsp.Network, string, error) {
-	if (nodesFile == "") != (edgesFile == "") {
-		return nil, "", fmt.Errorf("-nodes and -edges must be given together")
+// daemonConfig is the flag combination validate checks before any expensive
+// work runs.
+type daemonConfig struct {
+	DBFiles   []string
+	Schemes   []string
+	Preset    string
+	NodesFile string
+	EdgesFile string
+	// Explicit lists the flag names the user actually set (flag.Visit).
+	Explicit []string
+}
+
+// buildOnlyFlags are meaningless when serving prebuilt containers: the
+// containers already fix the network, the schemes and every tuning knob.
+var buildOnlyFlags = map[string]bool{
+	"preset": true, "scale": true, "seed": true, "nodes": true, "edges": true,
+	"schemes": true, "page": true, "threshold": true, "cluster": true,
+	"landmarks": true, "regions": true,
+}
+
+// validate rejects contradictory or unknown flag combinations with one
+// clear error, before any network is generated or container opened.
+func (c daemonConfig) validate() error {
+	if len(c.DBFiles) > 0 {
+		var conflict []string
+		for _, name := range c.Explicit {
+			if buildOnlyFlags[name] {
+				conflict = append(conflict, "-"+name)
+			}
+		}
+		if len(conflict) > 0 {
+			return fmt.Errorf("-db serves prebuilt containers and is mutually exclusive with %s", strings.Join(conflict, ", "))
+		}
+		return nil
 	}
+	if (c.NodesFile == "") != (c.EdgesFile == "") {
+		return fmt.Errorf("-nodes and -edges must be given together")
+	}
+	if c.NodesFile == "" && !knownPreset(c.Preset) {
+		return fmt.Errorf("unknown preset %q", c.Preset)
+	}
+	if len(c.Schemes) == 0 {
+		return fmt.Errorf("no schemes to host")
+	}
+	for _, name := range c.Schemes {
+		switch privsp.Scheme(name) {
+		case privsp.CI, privsp.PI, privsp.PIStar, privsp.HY, privsp.LM, privsp.AF:
+		case privsp.OBF:
+			return fmt.Errorf("OBF has no PIR database and cannot be served remotely")
+		default:
+			return fmt.Errorf("unknown scheme %q in -schemes (use CI, PI, PI*, HY, LM, AF)", name)
+		}
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// resolvePreset is the single source of preset-name matching, shared by the
+// up-front validation and the build path.
+func resolvePreset(name string) (privsp.Preset, bool) {
+	for _, p := range []privsp.Preset{
+		privsp.Oldenburg, privsp.Germany, privsp.Argentina,
+		privsp.Denmark, privsp.India, privsp.NorthAmerica,
+	} {
+		if strings.EqualFold(p.String(), name) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func knownPreset(name string) bool {
+	_, ok := resolvePreset(name)
+	return ok
+}
+
+func loadNetwork(preset string, scale float64, seed int64, nodesFile, edgesFile string) (*privsp.Network, string, error) {
 	if nodesFile != "" {
 		nf, err := os.Open(nodesFile)
 		if err != nil {
@@ -138,15 +246,11 @@ func loadNetwork(preset string, scale float64, seed int64, nodesFile, edgesFile 
 		net, err := privsp.LoadNetwork(nf, ef)
 		return net, nodesFile, err
 	}
-	for _, p := range []privsp.Preset{
-		privsp.Oldenburg, privsp.Germany, privsp.Argentina,
-		privsp.Denmark, privsp.India, privsp.NorthAmerica,
-	} {
-		if strings.EqualFold(p.String(), preset) {
-			return privsp.Generate(p, scale, seed), fmt.Sprintf("%s@%.3f", p, scale), nil
-		}
+	p, ok := resolvePreset(preset)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown preset %q", preset)
 	}
-	return nil, "", fmt.Errorf("unknown preset %q", preset)
+	return privsp.Generate(p, scale, seed), fmt.Sprintf("%s@%.3f", p, scale), nil
 }
 
 func logStats(ctx context.Context, srv *server.Server, every time.Duration) {

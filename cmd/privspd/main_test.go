@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlagCombinations(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     daemonConfig
+		wantErr string // substring; "" = valid
+	}{
+		{
+			name: "default build path",
+			cfg:  daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}},
+		},
+		{
+			name: "all schemes",
+			cfg:  daemonConfig{Preset: "Denmark", Schemes: []string{"CI", "PI", "PI*", "HY", "LM", "AF"}},
+		},
+		{
+			name:    "nodes without edges",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, NodesFile: "x.nodes"},
+			wantErr: "-nodes and -edges must be given together",
+		},
+		{
+			name:    "edges without nodes",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, EdgesFile: "x.edges"},
+			wantErr: "-nodes and -edges must be given together",
+		},
+		{
+			name: "edge list overrides preset",
+			cfg:  daemonConfig{Preset: "Nowhere", Schemes: []string{"CI"}, NodesFile: "x.nodes", EdgesFile: "x.edges"},
+		},
+		{
+			name:    "unknown preset",
+			cfg:     daemonConfig{Preset: "Atlantis", Schemes: []string{"CI"}},
+			wantErr: `unknown preset "Atlantis"`,
+		},
+		{
+			name:    "unknown scheme mid-list",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI", "ZZ", "HY"}},
+			wantErr: `unknown scheme "ZZ"`,
+		},
+		{
+			name:    "OBF rejected",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"OBF"}},
+			wantErr: "OBF has no PIR database",
+		},
+		{
+			name:    "empty scheme list",
+			cfg:     daemonConfig{Preset: "Oldenburg"},
+			wantErr: "no schemes to host",
+		},
+		{
+			name: "db path alone",
+			cfg:  daemonConfig{DBFiles: []string{"ci.psdb"}, Preset: "Oldenburg", Schemes: []string{"CI"}},
+		},
+		{
+			name: "db conflicts with explicit build flags",
+			cfg: daemonConfig{DBFiles: []string{"ci.psdb"}, Preset: "Oldenburg", Schemes: []string{"CI"},
+				Explicit: []string{"db", "preset", "schemes"}},
+			wantErr: "mutually exclusive with -preset, -schemes",
+		},
+		{
+			name: "db with serving flags is fine",
+			cfg: daemonConfig{DBFiles: []string{"ci.psdb"},
+				Explicit: []string{"db", "listen", "workers", "stats", "drain"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList("CI, PI ,,HY,"); len(got) != 3 || got[0] != "CI" || got[1] != "PI" || got[2] != "HY" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+}

@@ -5,6 +5,10 @@
 //
 // The public API lives in the privsp subpackage; README.md documents the
 // architecture, including the networked deployment (cmd/privspd daemon and
-// privsp.Dial remote client). The benchmarks in bench_test.go regenerate
-// every table and figure (see also cmd/experiments).
+// privsp.Dial remote client) and the build-once / serve-many persistence
+// workflow (privsp.Database.Save / privsp.Open, "privsp build -out" /
+// "privspd -db": the expensive preprocessing runs once and the daemon
+// serves the resulting .psdb container straight from disk). The benchmarks
+// in bench_test.go regenerate every table and figure (see also
+// cmd/experiments).
 package repro

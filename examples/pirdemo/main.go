@@ -11,6 +11,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/pagefile"
 	"repro/internal/pir"
 )
 
@@ -23,7 +24,7 @@ func main() {
 	}
 
 	fmt.Println("-- square-root ORAM (the SCP-style oblivious store) --")
-	oram, err := pir.NewSqrtORAM(data, pageSize, 1)
+	oram, err := pir.NewSqrtORAM(pagefile.SlicePages("F", pageSize, data), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	fmt.Println("\n   (positions are fresh-random whatever the logical pattern)")
 
 	fmt.Println("\n-- two-server XOR PIR (information-theoretic) --")
-	x, err := pir.NewXORPIR(data, pageSize)
+	x, err := pir.NewXORPIR(pagefile.SlicePages("F", pageSize, data))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 	for i := range small {
 		small[i] = []byte(fmt.Sprintf("ko%02d", i))
 	}
-	ko, err := pir.NewKOPIR(small, 4, 256)
+	ko, err := pir.NewKOPIR(pagefile.SlicePages("F", 4, small), 256)
 	if err != nil {
 		log.Fatal(err)
 	}

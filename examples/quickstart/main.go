@@ -6,6 +6,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"repro/privsp"
 )
@@ -24,7 +26,27 @@ func main() {
 	fmt.Printf("CI database: %.2f MB\n", float64(db.TotalBytes())/(1<<20))
 	fmt.Println("public query plan:", db.Plan())
 
-	srv, err := privsp.Serve(db)
+	// The expensive preprocessing runs once: save the database as a .psdb
+	// container and serve it from disk from now on (a daemon would do this
+	// with "privsp build -out" and "privspd -db"). OBF excepted, a database
+	// opened from disk serves byte-identically to the in-memory build.
+	dir, err := os.MkdirTemp("", "privsp-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	container := filepath.Join(dir, "ci.psdb")
+	if err := db.Save(container); err != nil {
+		log.Fatal(err)
+	}
+	saved, err := privsp.Open(container)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer saved.Close()
+	fmt.Printf("reopened %s from %s without rebuilding\n", saved.Scheme(), container)
+
+	srv, err := privsp.Serve(saved)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kdtree"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/precomp"
 	"repro/internal/scheme/af"
 	"repro/internal/scheme/base"
@@ -148,10 +149,10 @@ func Utilization(g *graph.Graph, db *lbs.Database) float64 {
 		raw += codec.NodeSize(graph.NodeID(v))
 	}
 	fd := db.File(base.FileData)
-	if fd == nil || fd.Size() == 0 {
+	if fd == nil || pagefile.Bytes(fd) == 0 {
 		return 0
 	}
-	return float64(raw) / float64(fd.Size())
+	return float64(raw) / float64(pagefile.Bytes(fd))
 }
 
 // SetSizeHistogram computes the |S_i,j| distribution of CI's network index

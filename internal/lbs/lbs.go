@@ -31,17 +31,19 @@ import (
 )
 
 // Database is everything a scheme's build step produces: the public header,
-// the page files, and the public query plan. Files must not be mutated once
-// the database is served or File has been called: lookups go through a
+// the page files, and the public query plan. Files holds pagefile.Readers,
+// so a database built in memory and one loaded from a persistent container
+// (privsp.Open) serve through identical code. Files must not be mutated
+// once the database is served or File has been called: lookups go through a
 // lazily built name index.
 type Database struct {
 	Scheme string
 	Header []byte
-	Files  []*pagefile.File
+	Files  []pagefile.Reader
 	Plan   plan.Plan
 
 	indexOnce sync.Once
-	byName    map[string]*pagefile.File
+	byName    map[string]pagefile.Reader
 	indexErr  error
 }
 
@@ -50,7 +52,7 @@ type Database struct {
 // pattern — ambiguous). NewServer surfaces the error at host time.
 func (db *Database) index() error {
 	db.indexOnce.Do(func() {
-		m := make(map[string]*pagefile.File, len(db.Files))
+		m := make(map[string]pagefile.Reader, len(db.Files))
 		for _, f := range db.Files {
 			if _, dup := m[f.Name()]; dup {
 				db.indexErr = fmt.Errorf("lbs: duplicate file name %q in %s database", f.Name(), db.Scheme)
@@ -66,7 +68,7 @@ func (db *Database) index() error {
 // File returns the named file, or nil. Lookups are O(1) against the name
 // index (and nil for every name when the database holds duplicate names —
 // such a database is rejected at host time).
-func (db *Database) File(name string) *pagefile.File {
+func (db *Database) File(name string) pagefile.Reader {
 	if db.index() != nil {
 		return nil
 	}
@@ -78,7 +80,7 @@ func (db *Database) File(name string) *pagefile.File {
 func (db *Database) TotalBytes() int64 {
 	total := int64(len(db.Header))
 	for _, f := range db.Files {
-		total += f.Size()
+		total += pagefile.Bytes(f)
 	}
 	return total
 }
@@ -88,8 +90,8 @@ func (db *Database) TotalBytes() int64 {
 func (db *Database) LargestFileBytes() int64 {
 	var max int64
 	for _, f := range db.Files {
-		if f.Size() > max {
-			max = f.Size()
+		if pagefile.Bytes(f) > max {
+			max = pagefile.Bytes(f)
 		}
 	}
 	return max
@@ -135,34 +137,22 @@ type Service interface {
 // StoreFactory turns a page file into a PIR store. The default uses
 // pir.Plain (the experiments simulate PIR timing analytically, like the
 // paper); demos can plug pir.NewSqrtORAM to run real oblivious storage.
-type StoreFactory func(*pagefile.File) (pir.Store, error)
+// The factory receives the Reader, not a concrete file, so the same store
+// construction serves in-memory builds and disk-backed containers.
+type StoreFactory func(pagefile.Reader) (pir.Store, error)
 
-// PlainStores is the default StoreFactory.
-func PlainStores(f *pagefile.File) (pir.Store, error) {
-	pages := make([][]byte, f.NumPages())
-	for i := range pages {
-		p, err := f.Page(i)
-		if err != nil {
-			return nil, err
-		}
-		pages[i] = p
-	}
-	return pir.NewPlain(pages, f.PageSize()), nil
+// PlainStores is the default StoreFactory: reads delegate straight to the
+// Reader, so a disk-backed file is served from disk (through its page
+// cache) without ever materializing in RAM.
+func PlainStores(f pagefile.Reader) (pir.Store, error) {
+	return pir.NewPlain(f), nil
 }
 
 // ORAMStores returns a StoreFactory backing each file with a real
 // square-root ORAM (slower; for demos and end-to-end obliviousness tests).
 func ORAMStores(seed int64) StoreFactory {
-	return func(f *pagefile.File) (pir.Store, error) {
-		pages := make([][]byte, f.NumPages())
-		for i := range pages {
-			p, err := f.Page(i)
-			if err != nil {
-				return nil, err
-			}
-			pages[i] = p
-		}
-		return pir.NewSqrtORAM(pages, f.PageSize(), seed)
+	return func(f pagefile.Reader) (pir.Store, error) {
+		return pir.NewSqrtORAM(f, seed)
 	}
 }
 
@@ -170,16 +160,8 @@ func ORAMStores(seed int64) StoreFactory {
 // hierarchical pyramid ORAM — the closest functional model of the
 // Williams–Sion protocol the paper deploys on the SCP.
 func PyramidStores() StoreFactory {
-	return func(f *pagefile.File) (pir.Store, error) {
-		pages := make([][]byte, f.NumPages())
-		for i := range pages {
-			p, err := f.Page(i)
-			if err != nil {
-				return nil, err
-			}
-			pages[i] = p
-		}
-		return pir.NewPyramidORAM(pages, f.PageSize())
+	return func(f pagefile.Reader) (pir.Store, error) {
+		return pir.NewPyramidORAM(f)
 	}
 }
 
@@ -189,16 +171,8 @@ func PyramidStores() StoreFactory {
 // Pass seed 0 in production — shuffle seeds then come from crypto/rand; a
 // non-zero seed makes the permutations reproducible, for tests only.
 func ShardedORAMStores(shards int, seed int64) StoreFactory {
-	return func(f *pagefile.File) (pir.Store, error) {
-		pages := make([][]byte, f.NumPages())
-		for i := range pages {
-			p, err := f.Page(i)
-			if err != nil {
-				return nil, err
-			}
-			pages[i] = p
-		}
-		return pir.NewShardedORAM(pages, f.PageSize(), shards, seed)
+	return func(f pagefile.Reader) (pir.Store, error) {
+		return pir.NewShardedORAM(f, shards, seed)
 	}
 }
 
@@ -255,9 +229,9 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 	}
 	s.sem = make(chan struct{}, s.workers)
 	for _, f := range db.Files {
-		if !model.SupportsFile(f.Size()) {
+		if !model.SupportsFile(pagefile.Bytes(f)) {
 			return nil, fmt.Errorf("lbs: file %s (%d bytes) exceeds the PIR interface limit of %d bytes",
-				f.Name(), f.Size(), model.MaxFileBytes())
+				f.Name(), pagefile.Bytes(f), model.MaxFileBytes())
 		}
 		st, err := factory(f)
 		if err != nil {
@@ -386,11 +360,16 @@ func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
 	return out, nil
 }
 
-// acquire takes one pool slot, counting the wait in the queue gauge.
+// acquire takes one pool slot. The queue gauge counts only genuine waits —
+// a free slot is taken without ever reporting the read as queued.
 func (s *Server) acquire() {
-	s.queued.Add(1)
-	s.sem <- struct{}{}
-	s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.queued.Add(1)
+		s.sem <- struct{}{}
+		s.queued.Add(-1)
+	}
 	s.busy.Add(1)
 }
 

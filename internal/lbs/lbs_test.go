@@ -23,7 +23,7 @@ func sampleDB(t *testing.T) *Database {
 	return &Database{
 		Scheme: "TEST",
 		Header: []byte("header-bytes"),
-		Files:  []*pagefile.File{fa, fb},
+		Files:  []pagefile.Reader{fa, fb},
 		Plan: plan.Plan{Rounds: []plan.Round{
 			{Fetches: []plan.Fetch{{File: "Fa", Count: 2}}},
 			{Fetches: []plan.Fetch{{File: "Fb", Count: 1}}},
@@ -52,7 +52,7 @@ func TestDuplicateFileNamesRejected(t *testing.T) {
 	fa1.MustAppendPage([]byte{1})
 	fa2 := pagefile.NewFile("Fa", 64)
 	fa2.MustAppendPage([]byte{2})
-	db := &Database{Scheme: "TEST", Files: []*pagefile.File{fa1, fa2}}
+	db := &Database{Scheme: "TEST", Files: []pagefile.Reader{fa1, fa2}}
 	if _, err := NewServer(db, costmodel.Default(), nil); err == nil {
 		t.Error("database with duplicate file names hosted")
 	}
@@ -64,7 +64,7 @@ func TestDuplicateFileNamesRejected(t *testing.T) {
 
 func TestFileIndexLookups(t *testing.T) {
 	// Many files: the map-backed lookup must find each by name.
-	var files []*pagefile.File
+	var files []pagefile.Reader
 	for _, name := range []string{"Fl", "Fc", "Fd", "Fp", "Fs"} {
 		f := pagefile.NewFile(name, 32)
 		f.MustAppendPage([]byte(name))
@@ -187,7 +187,7 @@ func TestParallelReadPages(t *testing.T) {
 		want[i] = bytes.Repeat([]byte{byte(i + 1)}, 8)
 		f.MustAppendPage(want[i])
 	}
-	db := &Database{Scheme: "TEST", Header: []byte("h"), Files: []*pagefile.File{f}}
+	db := &Database{Scheme: "TEST", Header: []byte("h"), Files: []pagefile.Reader{f}}
 
 	factories := map[string]StoreFactory{
 		"plain":   nil,

@@ -4,7 +4,7 @@ import "testing"
 
 func BenchmarkSqrtORAMRead(b *testing.B) {
 	pages := makePages(256, 4096, 1)
-	o, err := NewSqrtORAM(pages, 4096, 1)
+	o, err := NewSqrtORAM(src(pages, 4096), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func BenchmarkSqrtORAMRead(b *testing.B) {
 
 func BenchmarkXORPIRRead(b *testing.B) {
 	pages := makePages(256, 4096, 2)
-	x, err := NewXORPIR(pages, 4096)
+	x, err := NewXORPIR(src(pages, 4096))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func BenchmarkXORPIRRead(b *testing.B) {
 
 func BenchmarkKOPIRReadBit(b *testing.B) {
 	pages := makePages(16, 1, 3)
-	k, err := NewKOPIR(pages, 1, 256)
+	k, err := NewKOPIR(src(pages, 1), 256)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func BenchmarkKOPIRReadBit(b *testing.B) {
 
 func BenchmarkPlainRead(b *testing.B) {
 	pages := makePages(256, 4096, 4)
-	p := NewPlain(pages, 4096)
+	p := NewPlain(src(pages, 4096))
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

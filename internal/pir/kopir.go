@@ -4,6 +4,8 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+
+	"repro/internal/pagefile"
 )
 
 // KOPIR is single-server computational PIR from the quadratic residuosity
@@ -29,9 +31,16 @@ type KOPIR struct {
 	bits int      // modulus size
 }
 
-// NewKOPIR builds the scheme over pages with the given modulus size in bits
-// (512 is fine for tests; real deployments would use 2048+).
-func NewKOPIR(pages [][]byte, pageSize, modulusBits int) (*KOPIR, error) {
+// NewKOPIR builds the scheme over the pages of src with the given modulus
+// size in bits (512 is fine for tests; real deployments would use 2048+).
+// The full plaintext matrix stays in memory: every answer exponentiates
+// over every bit.
+func NewKOPIR(src pagefile.Reader, modulusBits int) (*KOPIR, error) {
+	pages, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := src.PageSize()
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("pir: empty file")
 	}

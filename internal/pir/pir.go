@@ -18,7 +18,11 @@
 // layer is real, not assumed.
 package pir
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+)
 
 // Store is the PIR interface the schemes program against: retrieve one page
 // by index, with the backing server(s) learning nothing about the index.
@@ -69,35 +73,52 @@ func readEach(s Store, pages []int) ([][]byte, error) {
 	return out, nil
 }
 
-// Plain is a non-private Store: direct reads. The obfuscation baseline and
-// build-time verification use it; it also demonstrates that the schemes are
-// agnostic to the PIR implementation behind the interface.
-type Plain struct {
-	pages    [][]byte
-	pageSize int
-}
-
-// NewPlain wraps pages in a Plain store.
-func NewPlain(pages [][]byte, pageSize int) *Plain {
-	return &Plain{pages: pages, pageSize: pageSize}
-}
-
-// Read returns page i. Safe for concurrent use: the page set is immutable.
-func (p *Plain) Read(page int) ([]byte, error) {
-	if page < 0 || page >= len(p.pages) {
-		return nil, fmt.Errorf("pir: page %d of %d", page, len(p.pages))
+// materialize pulls every page of a source into memory. The cryptographic
+// stores need the full plaintext up front — the ORAMs to encrypt and permute
+// it, XOR/KO-PIR to answer queries that by construction touch every page —
+// so only Plain serves straight off the (possibly disk-backed) source.
+func materialize(src pagefile.Reader) ([][]byte, error) {
+	pages := make([][]byte, src.NumPages())
+	for i := range pages {
+		p, err := src.Page(i)
+		if err != nil {
+			return nil, err
+		}
+		pages[i] = p
 	}
-	return p.pages[page], nil
+	return pages, nil
+}
+
+// Plain is a non-private Store: reads delegate directly to the underlying
+// page source (an in-memory build file or a disk-backed container file).
+// The obfuscation baseline and build-time verification use it; it also
+// demonstrates that the schemes are agnostic to the PIR implementation
+// behind the interface.
+type Plain struct {
+	src pagefile.Reader
+}
+
+// NewPlain wraps a page source in a Plain store (use pagefile.SlicePages
+// for a raw in-memory page slice).
+func NewPlain(src pagefile.Reader) *Plain { return &Plain{src: src} }
+
+// Read returns page i. Safe for concurrent use: Reader implementations are
+// concurrency-safe and the page set is immutable.
+func (p *Plain) Read(page int) ([]byte, error) {
+	if page < 0 || page >= p.src.NumPages() {
+		return nil, fmt.Errorf("pir: page %d of %d", page, p.src.NumPages())
+	}
+	return p.src.Page(page)
 }
 
 // ReadBatch implements BatchStore.
 func (p *Plain) ReadBatch(pages []int) ([][]byte, error) { return readEach(p, pages) }
 
 // NumPages returns the page count.
-func (p *Plain) NumPages() int { return len(p.pages) }
+func (p *Plain) NumPages() int { return p.src.NumPages() }
 
 // PageSize returns the page size.
-func (p *Plain) PageSize() int { return p.pageSize }
+func (p *Plain) PageSize() int { return p.src.PageSize() }
 
 // The concurrency contract, enforced at compile time: the stateless (or
 // internally locked) stores batch, the single-structure ORAMs are Store

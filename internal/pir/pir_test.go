@@ -5,7 +5,14 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/pagefile"
 )
+
+// src wraps raw pages as the Reader the store constructors take.
+func src(pages [][]byte, pageSize int) pagefile.Reader {
+	return pagefile.SlicePages("F", pageSize, pages)
+}
 
 func makePages(n, size int, seed int64) [][]byte {
 	rng := rand.New(rand.NewSource(seed))
@@ -19,7 +26,7 @@ func makePages(n, size int, seed int64) [][]byte {
 
 func TestPlainStore(t *testing.T) {
 	pages := makePages(5, 64, 1)
-	s := NewPlain(pages, 64)
+	s := NewPlain(src(pages, 64))
 	if s.NumPages() != 5 || s.PageSize() != 64 {
 		t.Fatalf("meta: %d pages size %d", s.NumPages(), s.PageSize())
 	}
@@ -37,7 +44,7 @@ func TestPlainStore(t *testing.T) {
 
 func TestSqrtORAMCorrectness(t *testing.T) {
 	pages := makePages(30, 128, 2)
-	o, err := NewSqrtORAM(pages, 128, 7)
+	o, err := NewSqrtORAM(src(pages, 128), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +64,7 @@ func TestSqrtORAMCorrectness(t *testing.T) {
 
 func TestSqrtORAMRepeatedSamePage(t *testing.T) {
 	pages := makePages(16, 32, 4)
-	o, err := NewSqrtORAM(pages, 32, 1)
+	o, err := NewSqrtORAM(src(pages, 32), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +100,7 @@ func TestSqrtORAMObliviousness(t *testing.T) {
 	pages := makePages(n, size, 5)
 
 	runPattern := func(pattern []int, seed int64) ([]Touch, []int) {
-		o, err := NewSqrtORAM(pages, size, seed)
+		o, err := NewSqrtORAM(src(pages, size), seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +149,7 @@ func TestSqrtORAMObliviousness(t *testing.T) {
 
 func TestSqrtORAMTamperDetected(t *testing.T) {
 	pages := makePages(9, 32, 6)
-	o, err := NewSqrtORAM(pages, 32, 2)
+	o, err := NewSqrtORAM(src(pages, 32), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +175,7 @@ func TestXORPIRCorrectnessProperty(t *testing.T) {
 		n := 1 + rng.Intn(40)
 		size := 1 + rng.Intn(100)
 		pages := makePages(n, size, seed)
-		x, err := NewXORPIR(pages, size)
+		x, err := NewXORPIR(src(pages, size))
 		if err != nil {
 			return false
 		}
@@ -183,7 +190,7 @@ func TestXORPIRCorrectnessProperty(t *testing.T) {
 
 func TestXORPIRServerViewsDifferOnlyAtTarget(t *testing.T) {
 	pages := makePages(32, 16, 9)
-	x, err := NewXORPIR(pages, 16)
+	x, err := NewXORPIR(src(pages, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +220,7 @@ func TestXORPIRSingleServerViewIsUniform(t *testing.T) {
 	// across many reads of the SAME page, each selection bit should be set
 	// about half the time.
 	pages := makePages(64, 8, 10)
-	x, err := NewXORPIR(pages, 8)
+	x, err := NewXORPIR(src(pages, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +246,7 @@ func TestXORPIRSingleServerViewIsUniform(t *testing.T) {
 func TestKOPIRCorrectness(t *testing.T) {
 	// Small records: KO retrieves bit-by-bit and is costly by design.
 	pages := makePages(6, 4, 11)
-	k, err := NewKOPIR(pages, 4, 128)
+	k, err := NewKOPIR(src(pages, 4), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,13 +262,13 @@ func TestKOPIRCorrectness(t *testing.T) {
 }
 
 func TestKOPIRRejectsBadInputs(t *testing.T) {
-	if _, err := NewKOPIR(nil, 4, 128); err == nil {
+	if _, err := NewKOPIR(src(nil, 4), 128); err == nil {
 		t.Error("empty file accepted")
 	}
-	if _, err := NewKOPIR(makePages(2, 4, 1), 4, 8); err == nil {
+	if _, err := NewKOPIR(src(makePages(2, 4, 1), 4), 8); err == nil {
 		t.Error("tiny modulus accepted")
 	}
-	k, err := NewKOPIR(makePages(2, 2, 1), 2, 128)
+	k, err := NewKOPIR(src(makePages(2, 2, 1), 2), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,13 +280,13 @@ func TestKOPIRRejectsBadInputs(t *testing.T) {
 func TestStoreInterfaceCompliance(t *testing.T) {
 	pages := makePages(4, 16, 12)
 	var stores []Store
-	stores = append(stores, NewPlain(pages, 16))
-	o, err := NewSqrtORAM(pages, 16, 3)
+	stores = append(stores, NewPlain(src(pages, 16)))
+	o, err := NewSqrtORAM(src(pages, 16), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	stores = append(stores, o)
-	x, err := NewXORPIR(pages, 16)
+	x, err := NewXORPIR(src(pages, 16))
 	if err != nil {
 		t.Fatal(err)
 	}

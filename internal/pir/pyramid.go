@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/pagefile"
 )
 
 // PyramidORAM is a hierarchical ("pyramid") ORAM in the lineage of
@@ -59,8 +61,14 @@ type pyLevel struct {
 // pageSize bytes of data.
 func pyItemSize(pageSize int) int { return 4 + pageSize }
 
-// NewPyramidORAM builds the pyramid over the given plaintext pages.
-func NewPyramidORAM(pages [][]byte, pageSize int) (*PyramidORAM, error) {
+// NewPyramidORAM builds the pyramid over the plaintext pages of src (read
+// once into the encrypted level hierarchy).
+func NewPyramidORAM(src pagefile.Reader) (*PyramidORAM, error) {
+	pages, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := src.PageSize()
 	n := len(pages)
 	if n == 0 {
 		return nil, fmt.Errorf("pir: empty file")

@@ -9,7 +9,7 @@ import (
 
 func TestPyramidCorrectness(t *testing.T) {
 	pages := makePages(40, 64, 21)
-	o, err := NewPyramidORAM(pages, 64)
+	o, err := NewPyramidORAM(src(pages, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestPyramidCorrectness(t *testing.T) {
 
 func TestPyramidRepeatedSamePage(t *testing.T) {
 	pages := makePages(20, 32, 23)
-	o, err := NewPyramidORAM(pages, 32)
+	o, err := NewPyramidORAM(src(pages, 32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestPyramidTraceShapeIndependence(t *testing.T) {
 	const n, size = 30, 16
 	pages := makePages(n, size, 24)
 	shape := func(pattern []int) []string {
-		o, err := NewPyramidORAM(pages, size)
+		o, err := NewPyramidORAM(src(pages, size))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func TestPyramidTraceShapeIndependence(t *testing.T) {
 func TestPyramidDummiesAreFresh(t *testing.T) {
 	const n, size = 64, 16
 	pages := makePages(n, size, 25)
-	o, err := NewPyramidORAM(pages, size)
+	o, err := NewPyramidORAM(src(pages, size))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestPyramidDummiesAreFresh(t *testing.T) {
 
 func TestPyramidStoreInterface(t *testing.T) {
 	pages := makePages(8, 16, 26)
-	o, err := NewPyramidORAM(pages, 16)
+	o, err := NewPyramidORAM(src(pages, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +145,14 @@ func TestPyramidStoreInterface(t *testing.T) {
 }
 
 func TestPyramidEmptyFileRejected(t *testing.T) {
-	if _, err := NewPyramidORAM(nil, 16); err == nil {
+	if _, err := NewPyramidORAM(src(nil, 16)); err == nil {
 		t.Error("empty file accepted")
 	}
 }
 
 func BenchmarkPyramidORAMRead(b *testing.B) {
 	pages := makePages(256, 4096, 27)
-	o, err := NewPyramidORAM(pages, 4096)
+	o, err := NewPyramidORAM(src(pages, 4096))
 	if err != nil {
 		b.Fatal(err)
 	}

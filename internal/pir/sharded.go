@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"repro/internal/pagefile"
 )
 
 // ShardedORAM stripes the logical pages over K independent square-root
@@ -38,13 +40,18 @@ type oramShard struct {
 	oram *SqrtORAM
 }
 
-// NewShardedORAM builds K shards over the given plaintext pages. A
+// NewShardedORAM builds K shards over the plaintext pages of src. A
 // non-zero seed derives each shard's shuffle PRNG from seed+shard, so runs
 // are reproducible while shards stay mutually independent — for tests only:
 // an adversary who learns the seed can invert the permutations. seed 0
 // draws every shard's shuffle seed from crypto/rand, the production mode.
 // The encryption keys are always fresh from crypto/rand, one set per shard.
-func NewShardedORAM(pages [][]byte, pageSize, shards int, seed int64) (*ShardedORAM, error) {
+func NewShardedORAM(src pagefile.Reader, shards int, seed int64) (*ShardedORAM, error) {
+	pages, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := src.PageSize()
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("pir: empty file")
 	}
@@ -72,7 +79,7 @@ func NewShardedORAM(pages [][]byte, pageSize, shards int, seed int64) (*ShardedO
 			}
 			shardSeed = int64(binary.LittleEndian.Uint64(buf[:]))
 		}
-		oram, err := NewSqrtORAM(local, pageSize, shardSeed)
+		oram, err := newSqrtORAMPages(local, pageSize, shardSeed)
 		if err != nil {
 			return nil, fmt.Errorf("pir: shard %d: %w", s, err)
 		}

@@ -11,7 +11,7 @@ import (
 func TestShardedORAMCorrectness(t *testing.T) {
 	const n, size, shards = 30, 64, 4
 	pages := makePages(n, size, 21)
-	o, err := NewShardedORAM(pages, size, shards, 7)
+	o, err := NewShardedORAM(src(pages, size), shards, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +52,14 @@ func TestShardedORAMCorrectness(t *testing.T) {
 }
 
 func TestShardedORAMRejectsBadInputs(t *testing.T) {
-	if _, err := NewShardedORAM(nil, 16, 2, 1); err == nil {
+	if _, err := NewShardedORAM(src(nil, 16), 2, 1); err == nil {
 		t.Error("empty file accepted")
 	}
-	if _, err := NewShardedORAM(makePages(4, 16, 1), 16, 0, 1); err == nil {
+	if _, err := NewShardedORAM(src(makePages(4, 16, 1), 16), 0, 1); err == nil {
 		t.Error("zero shards accepted")
 	}
 	// More shards than pages must clamp, not build empty shards.
-	o, err := NewShardedORAM(makePages(3, 16, 1), 16, 8, 1)
+	o, err := NewShardedORAM(src(makePages(3, 16, 1), 16), 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestShardedORAMRejectsBadInputs(t *testing.T) {
 // seeds come from crypto/rand and reads still return the right pages.
 func TestShardedORAMCryptoSeeded(t *testing.T) {
 	pages := makePages(20, 32, 17)
-	o, err := NewShardedORAM(pages, 32, 4, 0)
+	o, err := NewShardedORAM(src(pages, 32), 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestShardedORAMCryptoSeeded(t *testing.T) {
 func TestShardedORAMConcurrentBatches(t *testing.T) {
 	const n, size = 48, 32
 	pages := makePages(n, size, 22)
-	o, err := NewShardedORAM(pages, size, 6, 9)
+	o, err := NewShardedORAM(src(pages, size), 6, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestShardedORAMConcurrentBatches(t *testing.T) {
 // physical slot was touched.
 func shardMainHistogram(t *testing.T, pages [][]byte, size, shards int, seed int64, pattern []int, hist [][]int) {
 	t.Helper()
-	o, err := NewShardedORAM(pages, size, shards, seed)
+	o, err := NewShardedORAM(src(pages, size), shards, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestShardedORAMObliviousnessChiSquared(t *testing.T) {
 func TestShardedORAMShardIsolation(t *testing.T) {
 	const n, size, shards = 32, 16, 4
 	pages := makePages(n, size, 5)
-	o, err := NewShardedORAM(pages, size, shards, 11)
+	o, err := NewShardedORAM(src(pages, size), shards, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

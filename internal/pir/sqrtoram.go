@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand"
+
+	"repro/internal/pagefile"
 )
 
 // SqrtORAM is a square-root ORAM in the spirit of Goldreich's construction:
@@ -58,10 +60,21 @@ type Touch struct {
 	Pos  int
 }
 
-// NewSqrtORAM builds the ORAM over the given plaintext pages. seed
+// NewSqrtORAM builds the ORAM over the plaintext pages of src (the build
+// step's in-memory file or a disk-backed container file — the pages are
+// read once, encrypted and permuted into the ORAM's own storage). seed
 // determines the shuffle PRNG (tests need reproducibility; production use
 // would seed from crypto/rand).
-func NewSqrtORAM(pages [][]byte, pageSize int, seed int64) (*SqrtORAM, error) {
+func NewSqrtORAM(src pagefile.Reader, seed int64) (*SqrtORAM, error) {
+	pages, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	return newSqrtORAMPages(pages, src.PageSize(), seed)
+}
+
+// newSqrtORAMPages builds the ORAM over an in-memory page slice.
+func newSqrtORAMPages(pages [][]byte, pageSize int, seed int64) (*SqrtORAM, error) {
 	n := len(pages)
 	if n == 0 {
 		return nil, fmt.Errorf("pir: empty file")

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/pagefile"
 )
 
 // XORPIR is the two-server information-theoretic PIR of Chor, Goldreich,
@@ -47,8 +49,15 @@ func (s *xorServer) answer(sel []byte) []byte {
 	return out
 }
 
-// NewXORPIR replicates pages onto two logical servers.
-func NewXORPIR(pages [][]byte, pageSize int) (*XORPIR, error) {
+// NewXORPIR replicates the pages of src onto two logical servers (the
+// answer to any query XORs an arbitrary page subset, so both replicas hold
+// the full plaintext in memory).
+func NewXORPIR(src pagefile.Reader) (*XORPIR, error) {
+	pages, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := src.PageSize()
 	if len(pages) == 0 {
 		return nil, fmt.Errorf("pir: empty file")
 	}

@@ -137,7 +137,7 @@ func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
 	return &lbs.Database{
 		Scheme: SchemeName,
 		Header: hdr.Encode(),
-		Files:  []*pagefile.File{fl, fi, fd},
+		Files:  []pagefile.Reader{fl, fi, fd},
 		Plan:   qp,
 	}, nil
 }

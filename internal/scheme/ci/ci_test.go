@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/scheme/base"
 )
 
@@ -165,8 +166,8 @@ func TestCompressionShrinksIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wi := with.File(base.FileIndex).Size()
-	wo := without.File(base.FileIndex).Size()
+	wi := pagefile.Bytes(with.File(base.FileIndex))
+	wo := pagefile.Bytes(without.File(base.FileIndex))
 	if wi >= wo {
 		t.Errorf("compressed Fi %d bytes >= uncompressed %d", wi, wo)
 	}
@@ -185,8 +186,8 @@ func TestPackingShrinksDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if packed.File(base.FileData).Size() >= plain.File(base.FileData).Size() {
-		t.Errorf("packed Fd %d >= plain Fd %d", packed.File(base.FileData).Size(), plain.File(base.FileData).Size())
+	if pagefile.Bytes(packed.File(base.FileData)) >= pagefile.Bytes(plain.File(base.FileData)) {
+		t.Errorf("packed Fd %d >= plain Fd %d", pagefile.Bytes(packed.File(base.FileData)), pagefile.Bytes(plain.File(base.FileData)))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/scheme/base"
 )
 
@@ -26,7 +27,7 @@ func TestCompactDataEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf, cf := plain.File(base.FileData).Size(), compact.File(base.FileData).Size()
+	pf, cf := pagefile.Bytes(plain.File(base.FileData)), pagefile.Bytes(compact.File(base.FileData))
 	if cf >= pf {
 		t.Errorf("compact Fd %d bytes >= plain %d", cf, pf)
 	}

@@ -153,7 +153,7 @@ func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
 	return &lbs.Database{
 		Scheme: SchemeName,
 		Header: hdr.Encode(),
-		Files:  []*pagefile.File{fl, fc},
+		Files:  []pagefile.Reader{fl, fc},
 		Plan:   qp,
 	}, nil
 }

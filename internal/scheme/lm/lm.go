@@ -153,7 +153,7 @@ func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
 	return &lbs.Database{
 		Scheme: SchemeName,
 		Header: hdr.Encode(),
-		Files:  []*pagefile.File{fd},
+		Files:  []pagefile.Reader{fd},
 		Plan:   qp,
 	}, nil
 }

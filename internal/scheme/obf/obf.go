@@ -61,13 +61,12 @@ func NewServer(g *graph.Graph, model costmodel.Params, opt Options) (*Server, er
 	if opt.SetSize < 1 {
 		return nil, fmt.Errorf("obf: set size %d < 1", opt.SetSize)
 	}
-	bytes := rawNetworkBytes(g)
 	return &Server{
 		g:       g,
 		model:   model,
 		opt:     opt,
 		rng:     rand.New(rand.NewSource(opt.Seed)),
-		dbPages: (bytes + opt.PageSize - 1) / opt.PageSize,
+		dbPages: int(DatabaseBytes(g, opt)) / opt.PageSize,
 	}, nil
 }
 
@@ -79,6 +78,19 @@ func rawNetworkBytes(g *graph.Graph) int {
 		total += 4 + 8 + 8 + 2 + g.Degree(graph.NodeID(v))*(4+8)
 	}
 	return total
+}
+
+// DatabaseBytes reports the baseline's storage footprint for g under opt
+// without constructing a Server: the raw network rounded up to whole pages.
+// Size reporting (privsp.Database.TotalBytes) uses it so a metrics read
+// never pays for the decoy machinery.
+func DatabaseBytes(g *graph.Graph, opt Options) int64 {
+	ps := opt.PageSize
+	if ps <= 0 {
+		ps = pagefile.DefaultPageSize
+	}
+	pages := (rawNetworkBytes(g) + ps - 1) / ps
+	return int64(pages) * int64(ps)
 }
 
 // DatabaseBytes reports the baseline's storage footprint.

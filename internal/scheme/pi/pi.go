@@ -133,7 +133,7 @@ func Build(g *graph.Graph, opt Options) (*lbs.Database, error) {
 	return &lbs.Database{
 		Scheme: name,
 		Header: hdr.Encode(),
-		Files:  []*pagefile.File{fl, fi, fd},
+		Files:  []pagefile.Reader{fl, fi, fd},
 		Plan:   qp,
 	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/scheme/base"
 )
 
@@ -114,7 +115,7 @@ func TestPIFasterButBiggerThanCI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pidb.File(base.FileIndex).Size() <= pidb.File(base.FileData).Size() {
+	if pagefile.Bytes(pidb.File(base.FileIndex)) <= pagefile.Bytes(pidb.File(base.FileData)) {
 		t.Log("note: PI index not yet dominant at this scale")
 	}
 	if pidb.Plan.TotalPIRAccesses() > 12 {
@@ -159,8 +160,8 @@ func TestCompressionShrinksSubgraphIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wi := with.File(base.FileIndex).Size()
-	wo := without.File(base.FileIndex).Size()
+	wi := pagefile.Bytes(with.File(base.FileIndex))
+	wo := pagefile.Bytes(without.File(base.FileIndex))
 	if wi >= wo {
 		t.Errorf("compressed Fi %d >= uncompressed %d", wi, wo)
 	}
@@ -181,8 +182,8 @@ func TestClusteringShrinksIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if four.File(base.FileIndex).Size() >= one.File(base.FileIndex).Size() {
+	if pagefile.Bytes(four.File(base.FileIndex)) >= pagefile.Bytes(one.File(base.FileIndex)) {
 		t.Errorf("PI* (4 pages) index %d >= PI index %d",
-			four.File(base.FileIndex).Size(), one.File(base.FileIndex).Size())
+			pagefile.Bytes(four.File(base.FileIndex)), pagefile.Bytes(one.File(base.FileIndex)))
 	}
 }

@@ -31,6 +31,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lbs"
 	"repro/internal/netio"
+	"repro/internal/pagefile"
+	"repro/internal/plan"
 	"repro/internal/scheme/af"
 	"repro/internal/scheme/base"
 	"repro/internal/scheme/ci"
@@ -153,11 +155,15 @@ type Config struct {
 	CompactData bool
 }
 
-// Database is a built, servable database.
+// Database is a built, servable database. Databases come from Build (in
+// memory) or Open (backed by a persistent container); both serve through
+// identical code. Close a database loaded with Open when done with it.
 type Database struct {
-	cfg Config
-	db  *lbs.Database // nil for OBF
-	net *Network      // retained for OBF only
+	cfg       Config
+	db        *lbs.Database       // nil for OBF
+	net       *Network            // retained for OBF only
+	obfBytes  int64               // OBF footprint, computed once at build
+	container *pagefile.Container // non-nil iff loaded by Open
 }
 
 // Build pre-processes a network under the chosen scheme.
@@ -217,7 +223,7 @@ func Build(n *Network, cfg Config) (*Database, error) {
 		db, err := af.Build(n.G, opt)
 		return wrap(cfg, db, err)
 	case OBF:
-		return &Database{cfg: cfg, net: n}, nil
+		return &Database{cfg: cfg, net: n, obfBytes: obf.DatabaseBytes(n.G, obfOptions(cfg))}, nil
 	default:
 		return nil, fmt.Errorf("privsp: unknown scheme %q", cfg.Scheme)
 	}
@@ -238,19 +244,103 @@ func pageSize(cfg Config) int {
 }
 
 // TotalBytes reports the database size (the space metric of the paper's
-// evaluation).
+// evaluation). For OBF the footprint is computed once at build time —
+// reading a size never constructs the decoy machinery.
 func (d *Database) TotalBytes() int64 {
 	if d.db != nil {
 		return d.db.TotalBytes()
 	}
-	bytes := int64(0)
-	if d.net != nil {
-		srv, err := obf.NewServer(d.net.G, costmodel.Default(), obfOptions(d.cfg))
-		if err == nil {
-			bytes = srv.DatabaseBytes()
-		}
+	return d.obfBytes
+}
+
+// Save writes the built database as a versioned single-file container
+// (conventionally ".psdb"): scheme, header, query plan and every page file,
+// each data region checksummed. A saved database re-opens with Open in
+// milliseconds — the build-once / serve-many workflow that sidesteps the
+// paper's multi-hour preprocessing on every daemon start. OBF has no page
+// files and cannot be saved.
+func (d *Database) Save(path string) error {
+	if d.db == nil {
+		return fmt.Errorf("privsp: %s has no page files to persist", d.cfg.Scheme)
 	}
-	return bytes
+	enc := pagefile.NewEnc(256)
+	d.db.Plan.Encode(enc)
+	return pagefile.WriteContainer(path, pagefile.ContainerSpec{
+		Scheme: d.db.Scheme,
+		Header: d.db.Header,
+		Plan:   enc.Bytes(),
+		Files:  d.db.Files,
+	})
+}
+
+// OpenOption tunes Open.
+type OpenOption func(*[]pagefile.ContainerOption)
+
+// WithCachePages sets the per-file LRU page-cache capacity in pages. n <= 0
+// disables caching; unset means a ~1 MB budget per file.
+func WithCachePages(n int) OpenOption {
+	return func(opts *[]pagefile.ContainerOption) {
+		*opts = append(*opts, pagefile.WithCachePages(n))
+	}
+}
+
+// WithoutDataVerify skips the checksum scan of the page data at open time
+// (metadata is always verified). Right for containers larger than a
+// startup disk pass should cost, on storage verified out of band;
+// corruption then surfaces at query time instead of open time.
+func WithoutDataVerify() OpenOption {
+	return func(opts *[]pagefile.ContainerOption) {
+		*opts = append(*opts, pagefile.WithoutDataVerify())
+	}
+}
+
+// Open loads a database container written by Save. Pages are served from
+// disk on demand through a bounded LRU page cache, so the database may
+// exceed RAM and no preprocessing is redone; by default opening costs one
+// sequential scan of the file to verify its checksums (WithoutDataVerify
+// skips that). The client Result and the server-observed trace are
+// identical to serving the freshly built database. Close the returned
+// database when done.
+func Open(path string, opts ...OpenOption) (*Database, error) {
+	var copts []pagefile.ContainerOption
+	for _, opt := range opts {
+		opt(&copts)
+	}
+	c, err := pagefile.OpenContainer(path, copts...)
+	if err != nil {
+		return nil, err
+	}
+	scheme := Scheme(c.Scheme)
+	switch scheme {
+	case CI, PI, PIStar, HY, LM, AF:
+	default:
+		c.Close()
+		return nil, fmt.Errorf("privsp: %s holds unsupported scheme %q", path, c.Scheme)
+	}
+	pl, err := plan.Decode(pagefile.NewDec(c.Plan))
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("privsp: %s: %w", path, err)
+	}
+	files := make([]pagefile.Reader, len(c.Files))
+	for i, f := range c.Files {
+		files[i] = f
+	}
+	return &Database{
+		cfg:       Config{Scheme: scheme},
+		db:        &lbs.Database{Scheme: c.Scheme, Header: c.Header, Files: files, Plan: pl},
+		container: c,
+	}, nil
+}
+
+// Close releases the on-disk container backing a database returned by Open.
+// It is a no-op for databases built in memory. Servers must not be queried
+// after their database is closed.
+func (d *Database) Close() error {
+	if d.container != nil {
+		return d.container.Close()
+	}
+	return nil
 }
 
 // Plan renders the public query plan (empty for OBF, which has none).
