@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -103,9 +104,12 @@ func (s seekStore) Read(page int) ([]byte, error) {
 	return s.Store.Read(page)
 }
 
-func (s seekStore) ReadBatch(pages []int) ([][]byte, error) {
+func (s seekStore) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
 	out := make([][]byte, len(pages))
 	for i, p := range pages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		data, err := s.Read(p)
 		if err != nil {
 			return nil, err
@@ -193,7 +197,7 @@ func BenchmarkBatchRead(b *testing.B) {
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					conn := srv.Connect()
+					conn := srv.Connect(context.Background())
 					conn.BeginRound()
 					if _, err := conn.FetchMany(file, batch); err != nil {
 						b.Fatal(err)
@@ -256,7 +260,7 @@ func BenchmarkServeDiskVsRAM(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ci.Query(srv, src, dst); err != nil {
+				if _, err := ci.Query(context.Background(), srv, src, dst); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -286,7 +290,7 @@ func BenchmarkExtensionApproxCI(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			q, err := ci.EvaluateApproximation(srv, g, cfg.Queries, cfg.Seed)
+			q, err := ci.EvaluateApproximation(context.Background(), srv, g, cfg.Queries, cfg.Seed)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 	srcNode := fs.Int("s", 0, "query source node id")
 	dstNode := fs.Int("t", 1, "query destination node id")
 	remote := fs.String("remote", "", "privspd daemon address; query/stats run over the wire")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); dialing always has a connect timeout")
 	database := fs.String("db", "", "remote database name (empty = the daemon's sole database)")
 	out := fs.String("out", "", "build: write the database as a .psdb container to this path")
 	if err := fs.Parse(args); err != nil {
@@ -65,23 +67,31 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if cmd == "stats" {
 		if *remote == "" {
 			fatal(fmt.Errorf("stats needs -remote"))
 		}
-		rsrv, err := privsp.DialDatabase(*remote, *database)
+		rsrv, err := privsp.DialDatabaseContext(ctx, *remote, *database)
 		if err != nil {
 			fatal(err)
 		}
 		defer rsrv.Close()
-		st, err := rsrv.Stats()
+		st, err := rsrv.Stats(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("conns: %d active, %d total\n", st.ActiveConns, st.TotalConns)
 		for _, db := range st.Databases {
-			fmt.Printf("%s (%s): %d queries, %d PIR pages served, pool %d/%d busy (%d queued)\n",
-				db.Name, db.Scheme, db.Queries, db.PagesServed, db.BusyWorkers, db.Workers, db.QueuedReads)
+			fmt.Printf("%s (%s): %d queries (%d in-flight, %d cancelled, %d deadline), %d PIR pages served, pool %d/%d busy (%d queued)\n",
+				db.Name, db.Scheme, db.Queries, db.InFlight, db.Cancelled, db.DeadlineExceeded,
+				db.PagesServed, db.BusyWorkers, db.Workers, db.QueuedReads)
 		}
 		return
 	}
@@ -135,7 +145,7 @@ func main() {
 			fatal(err)
 		}
 		exec := func(q core.Query) (core.View, error) {
-			res, err := srv.ShortestPath(q.S, q.T)
+			res, err := srv.ShortestPath(ctx, q.S, q.T)
 			if err != nil {
 				return core.View{}, err
 			}
@@ -156,7 +166,7 @@ func main() {
 	case "query":
 		var srv privsp.PathService
 		if *remote != "" {
-			rsrv, err := privsp.DialDatabase(*remote, *database)
+			rsrv, err := privsp.DialDatabaseContext(ctx, *remote, *database)
 			if err != nil {
 				fatal(err)
 			}
@@ -180,7 +190,9 @@ func main() {
 		if *srcNode >= net.NumNodes() || *dstNode >= net.NumNodes() {
 			fatal(fmt.Errorf("node ids must be below %d", net.NumNodes()))
 		}
-		res, err := srv.ShortestPath(net.NodePoint(privsp.NodeID(*srcNode)), net.NodePoint(privsp.NodeID(*dstNode)))
+		var serverTrace string
+		res, err := srv.ShortestPath(ctx, net.NodePoint(privsp.NodeID(*srcNode)), net.NodePoint(privsp.NodeID(*dstNode)),
+			privsp.WithServerTrace(&serverTrace))
 		if err != nil {
 			fatal(err)
 		}
@@ -192,8 +204,8 @@ func main() {
 		fmt.Printf("simulated response %.2fs (PIR %.2fs, comm %.2fs, client %.4fs, server %.2fs)\n",
 			res.Stats.Response().Seconds(), res.Stats.PIR.Seconds(), res.Stats.Comm.Seconds(),
 			res.Stats.Client.Seconds(), res.Stats.Server.Seconds())
-		if rsrv, ok := srv.(*privsp.RemoteServer); ok {
-			fmt.Printf("server-observed trace (adversarial view):\n%s", rsrv.ServerTrace())
+		if _, ok := srv.(*privsp.RemoteServer); ok {
+			fmt.Printf("server-observed trace (adversarial view):\n%s", serverTrace)
 		}
 	default:
 		usage()

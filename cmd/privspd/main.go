@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/privsp"
 )
 
@@ -52,7 +53,7 @@ func main() {
 	regions := flag.Int("regions", 0, "AF regions")
 	workers := flag.Int("workers", 0, "max concurrent PIR page reads per database (0 = 2x GOMAXPROCS)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
-	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown window (in-flight queries are cancelled immediately; sessions get this long to settle)")
 	flag.Parse()
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -135,7 +136,7 @@ func main() {
 			log.Fatalf("privspd: serve: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("privspd: shutting down (draining for up to %v)", *shutdownWait)
+		log.Printf("privspd: shutting down (cancelling in-flight queries; settling for up to %v)", *shutdownWait)
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
@@ -267,12 +268,19 @@ func logStats(ctx context.Context, srv *server.Server, every time.Duration) {
 }
 
 func printStats(srv *server.Server) {
-	st := srv.Stats()
+	log.Print(statsLine(srv.Stats()))
+}
+
+// statsLine renders one serving-stats log line: connection totals, then per
+// database the query counters — completed, in-flight, cancelled,
+// deadline-exceeded — pages served, and the worker-pool gauges.
+func statsLine(st wire.ServerStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "privspd: conns %d active / %d total", st.ActiveConns, st.TotalConns)
 	for _, db := range st.Databases {
-		fmt.Fprintf(&b, " | %s: %d queries, %d pages, pool %d/%d busy (%d queued)",
-			db.Name, db.Queries, db.Pages, db.BusyWorkers, db.Workers, db.QueuedReads)
+		fmt.Fprintf(&b, " | %s: %d queries (%d in-flight, %d cancelled, %d deadline), %d pages, pool %d/%d busy (%d queued)",
+			db.Name, db.Queries, db.InFlight, db.Cancelled, db.Deadline,
+			db.Pages, db.BusyWorkers, db.Workers, db.QueuedReads)
 	}
-	log.Print(b.String())
+	return b.String()
 }

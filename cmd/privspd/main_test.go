@@ -3,7 +3,36 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/wire"
 )
+
+// TestStatsLine: the serving-stats log line surfaces the full per-database
+// accounting — completed, in-flight, cancelled and deadline-exceeded query
+// counters plus the pool gauges — in one greppable line.
+func TestStatsLine(t *testing.T) {
+	st := wire.ServerStats{
+		ActiveConns: 2,
+		TotalConns:  9,
+		Databases: []wire.DBStats{
+			{Name: "CI", Scheme: "CI", Queries: 5, Pages: 70, InFlight: 1, Cancelled: 2, Deadline: 1,
+				Workers: 8, BusyWorkers: 3, QueuedReads: 4},
+			{Name: "HY", Scheme: "HY"},
+		},
+	}
+	line := statsLine(st)
+	for _, want := range []string{
+		"conns 2 active / 9 total",
+		"CI: 5 queries (1 in-flight, 2 cancelled, 1 deadline)",
+		"70 pages",
+		"pool 3/8 busy (4 queued)",
+		"HY: 0 queries (0 in-flight, 0 cancelled, 0 deadline)",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line %q\nmissing %q", line, want)
+		}
+	}
+}
 
 func TestValidateFlagCombinations(t *testing.T) {
 	cases := []struct {

@@ -4,11 +4,16 @@
 // learns nothing about the queries it answers.
 //
 // The public API lives in the privsp subpackage; README.md documents the
-// architecture, including the networked deployment (cmd/privspd daemon and
-// privsp.Dial remote client) and the build-once / serve-many persistence
-// workflow (privsp.Database.Save / privsp.Open, "privsp build -out" /
-// "privspd -db": the expensive preprocessing runs once and the daemon
-// serves the resulting .psdb container straight from disk). The benchmarks
-// in bench_test.go regenerate every table and figure (see also
-// cmd/experiments).
+// architecture, including the context-first query surface
+// (privsp.PathService: ShortestPath(ctx, src, dst, ...QueryOption), with
+// deadlines and cancellation honored at PIR round boundaries so an aborted
+// query's service-visible trace stays a prefix of a full one), the
+// networked deployment (cmd/privspd daemon and the privsp.DialContext
+// remote client, whose single TCP connection multiplexes concurrent
+// queries by query ID and can CANCEL in-flight work), and the build-once /
+// serve-many persistence workflow (privsp.Database.Save / privsp.Open,
+// "privsp build -out" / "privspd -db": the expensive preprocessing runs
+// once and the daemon serves the resulting .psdb container straight from
+// disk). The benchmarks in bench_test.go regenerate every table and figure
+// (see also cmd/experiments).
 package repro

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -75,17 +76,22 @@ func measure(net *privsp.Network, cfg privsp.Config) (time.Duration, int64, erro
 	if err != nil {
 		return 0, 0, err
 	}
+	// A real planner would not wait forever on one candidate configuration:
+	// the whole measurement workload runs under a deadline, and a
+	// configuration that cannot answer in time is simply rejected.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	rng := rand.New(rand.NewSource(9))
 	const queries = 10
 	var total time.Duration
 	for i := 0; i < queries; i++ {
 		s := privsp.NodeID(rng.Intn(net.NumNodes()))
 		t := privsp.NodeID(rng.Intn(net.NumNodes()))
-		res, err := srv.ShortestPath(net.NodePoint(s), net.NodePoint(t))
-		if err != nil {
+		var st privsp.Stats
+		if _, err := srv.ShortestPath(ctx, net.NodePoint(s), net.NodePoint(t), privsp.WithStats(&st)); err != nil {
 			return 0, 0, err
 		}
-		total += res.Stats.Response()
+		total += st.Response()
 	}
 	return total / queries, db.TotalBytes(), nil
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,15 +33,16 @@ func main() {
 	clinic := net.NodePoint(privsp.NodeID(rng.Intn(net.NumNodes())))
 	cafe := net.NodePoint(privsp.NodeID(rng.Intn(net.NumNodes())))
 
-	toClinic, err := srv.ShortestPath(home, clinic)
+	ctx := context.Background()
+	toClinic, err := srv.ShortestPath(ctx, home, clinic)
 	if err != nil {
 		log.Fatal(err)
 	}
-	toCafe, err := srv.ShortestPath(home, cafe)
+	toCafe, err := srv.ShortestPath(ctx, home, cafe)
 	if err != nil {
 		log.Fatal(err)
 	}
-	toClinicAgain, err := srv.ShortestPath(home, clinic)
+	toClinicAgain, err := srv.ShortestPath(ctx, home, clinic)
 	if err != nil {
 		log.Fatal(err)
 	}

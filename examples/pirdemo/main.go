@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,6 +44,17 @@ func main() {
 	}
 	demo("XORPIR", x)
 	fmt.Printf("   each server saw a uniformly random subset of %d pages\n", pages)
+
+	// Batched reads take the query's context: the serving layer checks it
+	// between page retrievals, so a cancelled query stops a long batch at a
+	// read boundary instead of finishing work nobody wants.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	batch, err := x.ReadBatch(ctx, []int{2, 5, 11})
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   batched ReadBatch(ctx, [2 5 11]) returned %d pages, first %q\n", len(batch), trim(batch[0]))
 
 	fmt.Println("\n-- Kushilevitz–Ostrovsky PIR (quadratic residuosity, math/big) --")
 	small := make([][]byte, 4)

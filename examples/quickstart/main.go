@@ -4,10 +4,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/privsp"
 )
@@ -52,10 +54,16 @@ func main() {
 	}
 
 	// Query between two arbitrary coordinates; they are snapped to the
-	// nearest network nodes of their regions.
+	// nearest network nodes of their regions. The context carries the
+	// query's deadline: PIR is expensive by design, so production callers
+	// always bound how long they are willing to wait — cancellation aborts
+	// at the next PIR round boundary and leaks nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	src := net.NodePoint(10)
 	dst := net.NodePoint(privsp.NodeID(net.NumNodes() - 5))
-	res, err := srv.ShortestPath(src, dst)
+	var serverView string
+	res, err := srv.ShortestPath(ctx, src, dst, privsp.WithServerTrace(&serverView))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,5 +72,5 @@ func main() {
 	fmt.Printf("  PIR %.2fs + communication %.2fs + client %.4fs\n",
 		res.Stats.PIR.Seconds(), res.Stats.Comm.Seconds(), res.Stats.Client.Seconds())
 	fmt.Println("\nwhat the LBS saw (identical for every possible query):")
-	fmt.Print(res.Trace)
+	fmt.Print(serverView)
 }

@@ -1,14 +1,23 @@
 // Package client is the remote side of the networked LBS: it speaks the
-// internal/wire protocol to a privspd daemon and implements lbs.Service, so
-// the exact same scheme query code that drives an in-process lbs.Server
-// drives a server across the network. One Client is one TCP connection and
-// runs one query at a time; concurrent queries use one Client each — the
-// daemon executes their batched PIR reads in parallel on its per-database
-// worker pools.
+// internal/wire protocol to a privspd daemon. One Client is one TCP
+// connection multiplexing any number of concurrent query sessions: every
+// frame carries a query ID, a reader goroutine routes responses back to the
+// query that asked, and writes interleave under a single lock. Each query
+// session (StartQuery) implements lbs.Service, so the exact same scheme
+// protocol code that drives an in-process lbs.Server drives a daemon across
+// the network — now many queries at a time over one connection, the daemon
+// executing their batched PIR reads in parallel on its per-database worker
+// pools.
+//
+// Cancellation is first-class: a query whose context dies stops waiting
+// immediately, and Cancel ships a CANCEL frame so the daemon aborts the
+// server-side work (frees the pool slot it is queued on) instead of
+// finishing a read nobody wants.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -20,6 +29,12 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultDialTimeout bounds Dial's TCP connect plus protocol handshake when
+// the caller's context carries no deadline of its own: a daemon that
+// accepts the TCP connection but never answers the Hello must fail the
+// dial, not hang it.
+const DefaultDialTimeout = 10 * time.Second
+
 // Options tunes a connection.
 type Options struct {
 	// Database selects a hosted database by name; empty selects the
@@ -27,61 +42,101 @@ type Options struct {
 	Database string
 	// MaxFrame bounds accepted frames; 0 means wire.DefaultMaxFrame.
 	MaxFrame int
-	// DialTimeout bounds the TCP connect; 0 means 10 s.
+	// DialTimeout bounds the TCP connect and handshake when the dial
+	// context has no deadline; 0 means DefaultDialTimeout.
 	DialTimeout time.Duration
 }
 
+// frame is one routed server frame.
+type frame struct {
+	t       wire.MsgType
+	payload []byte
+}
+
 // Client is a connection to a privspd daemon, bound to one database by the
-// Hello/Welcome handshake.
+// Hello/Welcome handshake. Safe for concurrent use: start one Query per
+// in-flight query, from any goroutine.
 type Client struct {
-	mu       sync.Mutex
 	conn     net.Conn
-	br       *bufio.Reader
-	bw       *bufio.Writer
 	maxFrame int
 
+	wmu sync.Mutex // serializes frame writes and flushes
+	bw  *bufio.Writer
+
+	// Immutable after the handshake.
 	scheme   string
 	database string
 	files    map[string]lbs.FileInfo
 	model    costmodel.Params
 
-	inQuery bool
-	err     error // fatal transport error; latched
+	ctlMu sync.Mutex // serializes control (stats) request/response pairs
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan frame // open queries, keyed by query ID
+	ctl     chan frame            // ControlID responses (stats)
+	done    chan struct{}         // closed once on fatal failure; wakes all waiters
+	err     error                 // fatal transport error; latched
+	failed  bool
 }
 
-// Dial connects and performs the handshake.
+// Dial connects with the default timeout. Equivalent to DialContext with a
+// background context: the connect and handshake are still bounded by
+// Options.DialTimeout (DefaultDialTimeout when zero), so an unresponsive
+// address fails instead of blocking forever.
 func Dial(addr string, opts Options) (*Client, error) {
+	return DialContext(context.Background(), addr, opts)
+}
+
+// DialContext connects and performs the handshake under ctx. The context
+// governs the TCP connect and the Hello/Welcome exchange; if it carries no
+// deadline, Options.DialTimeout applies. A daemon that accepts the
+// connection but never completes the handshake fails the dial when the
+// budget expires.
+func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = wire.DefaultMaxFrame
 	}
 	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = 10 * time.Second
+		opts.DialTimeout = DefaultDialTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.DialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	// The handshake reads below must abort when ctx dies: poison the
+	// connection deadline from the context for the duration.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
 	c := &Client{
 		conn:     conn,
-		br:       bufio.NewReaderSize(conn, 64<<10),
-		bw:       bufio.NewWriterSize(conn, 64<<10),
 		maxFrame: opts.MaxFrame,
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		pending:  map[uint32]chan frame{},
+		ctl:      make(chan frame, 8),
+		done:     make(chan struct{}),
 	}
-	hello := wire.Hello{Version: wire.ProtocolVersion, Database: opts.Database}
-	if err := c.send(wire.MsgHello, hello.Encode()); err != nil {
-		conn.Close()
-		return nil, err
+	br := bufio.NewReaderSize(conn, 64<<10)
+	w, err := handshake(br, c.bw, opts)
+	if !stop() && err == nil {
+		// The deadline-poisoning AfterFunc already started: it may run
+		// after the reset below and poison a connection we reported as
+		// healthy. The context is dead anyway — fail the dial.
+		err = ctx.Err()
 	}
-	payload, err := c.expect(wire.MsgWelcome)
 	if err != nil {
 		conn.Close()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: dial %s: %w", addr, ctx.Err())
+		}
 		return nil, err
 	}
-	w, err := wire.DecodeWelcome(payload)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
+	conn.SetDeadline(time.Time{})
 	c.scheme = w.Scheme
 	c.database = w.Database
 	c.model = w.Model
@@ -89,7 +144,35 @@ func Dial(addr string, opts Options) (*Client, error) {
 	for _, f := range w.Files {
 		c.files[f.Name] = f
 	}
+	go c.readLoop(br)
 	return c, nil
+}
+
+// handshake runs the Hello/Welcome exchange on the raw buffered stream,
+// before the reader goroutine exists.
+func handshake(br *bufio.Reader, bw *bufio.Writer, opts Options) (wire.Welcome, error) {
+	hello := wire.Hello{Version: wire.ProtocolVersion, Database: opts.Database}
+	if err := wire.WriteFrame(bw, wire.MsgHello, wire.ControlID, hello.Encode()); err != nil {
+		return wire.Welcome{}, fmt.Errorf("client: write Hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return wire.Welcome{}, fmt.Errorf("client: write Hello: %w", err)
+	}
+	t, _, payload, err := wire.ReadFrame(br, opts.MaxFrame)
+	if err != nil {
+		return wire.Welcome{}, fmt.Errorf("client: read: %w", err)
+	}
+	switch t {
+	case wire.MsgError:
+		if em, derr := wire.DecodeErrorMsg(payload); derr == nil {
+			return wire.Welcome{}, &serverError{text: em.Text}
+		}
+		return wire.Welcome{}, errors.New("client: server reported an undecodable error")
+	case wire.MsgWelcome:
+		return wire.DecodeWelcome(payload)
+	default:
+		return wire.Welcome{}, fmt.Errorf("client: expected Welcome, got %s", t)
+	}
 }
 
 // Scheme returns the hosted database's scheme name.
@@ -98,180 +181,267 @@ func (c *Client) Scheme() string { return c.scheme }
 // Database returns the name the daemon resolved the Hello to.
 func (c *Client) Database() string { return c.database }
 
-// Close tears the connection down.
+// Close tears the connection down: every in-flight query fails promptly.
 func (c *Client) Close() error {
+	c.fail(errors.New("client: closed"))
+	return nil
+}
+
+// fail latches a fatal transport error, closes the socket, and wakes every
+// waiter by closing the done channel. The per-query frame channels are
+// never closed — the reader may be concurrently sending on one — waiters
+// select on done instead. Idempotent: the first error wins.
+func (c *Client) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = errors.New("client: closed")
+	if c.failed {
+		return
 	}
-	return c.conn.Close()
+	c.failed = true
+	c.err = err
+	c.conn.Close()
+	close(c.done)
 }
 
-// send writes one frame and flushes.
-func (c *Client) send(t wire.MsgType, payload []byte) error {
-	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
-		return fmt.Errorf("client: write %s: %w", t, err)
+// lastErr reports the latched fatal error.
+func (c *Client) lastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
 	}
-	return c.bw.Flush()
+	return errors.New("client: connection closed")
 }
 
-// serverError is a request the daemon rejected. The byte stream stays in
-// sync, so the connection remains usable for further queries.
+// release forgets a query: frames addressed to it are dropped from now on.
+func (c *Client) release(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}
+
+// readLoop routes every incoming frame to the query (or control waiter) it
+// is addressed to. Frames for finished queries — a reply overtaken by a
+// cancellation — are dropped, which is precisely what keying by query ID
+// buys: no stream position to desynchronize.
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		t, qid, payload, err := wire.ReadFrame(br, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		c.mu.Lock()
+		var ch chan frame
+		if c.failed {
+			c.mu.Unlock()
+			return
+		}
+		if qid == wire.ControlID {
+			ch = c.ctl
+		} else {
+			ch = c.pending[qid]
+		}
+		c.mu.Unlock()
+		if ch == nil {
+			continue // finished or cancelled query: drop
+		}
+		// The channel is never closed (see fail), so this send cannot
+		// panic even if the query is released concurrently.
+		select {
+		case ch <- frame{t, payload}:
+		default:
+			// More replies than requests: a server bug, but never a reason
+			// to block the reader and stall every other query.
+		}
+	}
+}
+
+// writeFrame emits one frame, optionally flushing. Writes from concurrent
+// queries interleave whole-frame; an unflushed frame rides with whichever
+// write flushes next.
+func (c *Client) writeFrame(t wire.MsgType, qid uint32, payload []byte, flush bool) error {
+	c.mu.Lock()
+	if c.err != nil {
+		defer c.mu.Unlock()
+		return c.err
+	}
+	c.mu.Unlock()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	err := wire.WriteFrame(c.bw, t, qid, payload)
+	if err == nil && flush {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		err = fmt.Errorf("client: write %s: %w", t, err)
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// serverError is a request the daemon rejected. The connection remains
+// usable for further queries — with per-query frame routing a rejection
+// cannot desynchronize anything.
 type serverError struct{ text string }
 
 func (e *serverError) Error() string { return "client: server: " + e.text }
 
-// latch records fatal (transport / framing) errors so every later call
-// fails fast; server-side rejections pass through without latching.
-func (c *Client) latch(err error) error {
+// IsServerReject reports whether err is a daemon-side rejection (as opposed
+// to a transport failure that killed the connection).
+func IsServerReject(err error) bool {
 	var se *serverError
-	if err != nil && !errors.As(err, &se) && c.err == nil {
-		c.err = err
-	}
-	return err
-}
-
-// expect reads the next frame, unwrapping server-reported errors.
-func (c *Client) expect(want wire.MsgType) ([]byte, error) {
-	t, payload, err := wire.ReadFrame(c.br, c.maxFrame)
-	if err != nil {
-		return nil, fmt.Errorf("client: read: %w", err)
-	}
-	if t == wire.MsgError {
-		if em, derr := wire.DecodeErrorMsg(payload); derr == nil {
-			return nil, &serverError{text: em.Text}
-		}
-		return nil, errors.New("client: server reported an undecodable error")
-	}
-	if t != want {
-		return nil, fmt.Errorf("client: expected %s, got %s", want, t)
-	}
-	return payload, nil
-}
-
-// Connect starts a query session; the returned Conn drives the scheme's
-// protocol over the wire. Client implements lbs.Service through it.
-func (c *Client) Connect() *lbs.Conn {
-	return lbs.NewConn(&remote{c: c})
-}
-
-// EndQuery closes the open query session and returns the trace the server
-// observed for it — the adversarial view of the query just run.
-func (c *Client) EndQuery() (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return "", c.err
-	}
-	if !c.inQuery {
-		return "", errors.New("client: no open query")
-	}
-	c.inQuery = false
-	if err := c.send(wire.MsgEndQuery, nil); err != nil {
-		return "", c.latch(err)
-	}
-	payload, err := c.expect(wire.MsgQueryDone)
-	if err != nil {
-		return "", c.latch(err)
-	}
-	done, err := wire.DecodeQueryDone(payload)
-	if err != nil {
-		return "", c.latch(err)
-	}
-	return done.Trace, nil
-}
-
-// AbandonQuery drops an open query session without completing it. Nothing
-// goes over the wire: the next query's BeginQuery makes the server discard
-// the partial state, which it neither records in its trace ring nor counts
-// as a served query. Use it when a query failed midway; EndQuery is for
-// queries that ran to completion.
-func (c *Client) AbandonQuery() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.inQuery = false
+	return errors.As(err, &se)
 }
 
 // ServerStats fetches the daemon's serving counters, including the
-// per-database worker-pool gauges (pool size, busy workers, queued reads —
-// the saturation signals of the parallel read path). It must not run while
-// a query is open on this connection.
-func (c *Client) ServerStats() (wire.ServerStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return wire.ServerStats{}, c.err
+// per-database in-flight/cancelled/deadline accounting and worker-pool
+// gauges. Safe to call while queries are in flight — statistics ride the
+// control ID, independent of any query session.
+func (c *Client) ServerStats(ctx context.Context) (wire.ServerStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if c.inQuery {
-		return wire.ServerStats{}, errors.New("client: query in progress")
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	// Drop any stale control response abandoned by an earlier ctx abort.
+	for {
+		select {
+		case <-c.ctl:
+			continue
+		default:
+		}
+		break
 	}
-	if err := c.send(wire.MsgStatsReq, nil); err != nil {
-		return wire.ServerStats{}, c.latch(err)
+	if err := c.writeFrame(wire.MsgStatsReq, wire.ControlID, nil, true); err != nil {
+		return wire.ServerStats{}, err
 	}
-	payload, err := c.expect(wire.MsgStats)
-	if err != nil {
-		return wire.ServerStats{}, c.latch(err)
+	select {
+	case f := <-c.ctl:
+		if f.t == wire.MsgError {
+			if em, derr := wire.DecodeErrorMsg(f.payload); derr == nil {
+				return wire.ServerStats{}, &serverError{text: em.Text}
+			}
+			return wire.ServerStats{}, errors.New("client: server reported an undecodable error")
+		}
+		if f.t != wire.MsgStats {
+			err := fmt.Errorf("client: expected Stats, got %s", f.t)
+			c.fail(err)
+			return wire.ServerStats{}, err
+		}
+		return wire.DecodeServerStats(f.payload)
+	case <-c.done:
+		return wire.ServerStats{}, c.lastErr()
+	case <-ctx.Done():
+		return wire.ServerStats{}, ctx.Err()
 	}
-	return wire.DecodeServerStats(payload)
 }
 
-// remote adapts one query session on a Client to lbs.Backend. The lbs.Conn
-// on top of it keeps the client-side trace and the simulated Table 2 stats;
-// the server keeps its own trace of what it actually observed.
-type remote struct {
-	c     *Client
-	begun bool
+// Query is one query session multiplexed on a Client. It implements
+// lbs.Service (and lbs.Backend), so scheme protocol code runs against it
+// exactly as against an in-process server. A Query is used by one goroutine
+// at a time and must be settled with End (completed) or Cancel (aborted);
+// different Queries on one Client run fully concurrently.
+type Query struct {
+	c    *Client
+	id   uint32
+	resp chan frame
+
+	begun bool // BeginQuery sent
+	done  bool // settled: no more frames in either direction
 }
+
+// StartQuery opens a fresh query session. The returned Query holds a
+// connection-unique ID; nothing goes over the wire until its first use.
+func (c *Client) StartQuery() *Query {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 8)
+	if !c.failed {
+		c.pending[id] = ch
+	}
+	// On a failed client the query is not registered; its waits fail fast
+	// through the closed done channel.
+	c.mu.Unlock()
+	return &Query{c: c, id: id, resp: ch}
+}
+
+// Connect implements lbs.Service: the scheme's protocol drives this query
+// session under the query's context.
+func (q *Query) Connect(ctx context.Context) *lbs.Conn { return lbs.NewConn(ctx, q) }
 
 // begin lazily opens the query session on first use. BeginQuery is
 // fire-and-forget, so it shares the flush of the operation that follows.
-func (r *remote) begin() error {
-	if r.begun {
+func (q *Query) begin() error {
+	if q.done {
+		return errors.New("client: query already settled")
+	}
+	if q.begun {
 		return nil
 	}
-	if r.c.err != nil {
-		return r.c.err
+	if err := q.c.writeFrame(wire.MsgBeginQuery, q.id, nil, false); err != nil {
+		return err
 	}
-	if r.c.inQuery {
-		return errors.New("client: a query is already in progress on this connection")
-	}
-	if err := wire.WriteFrame(r.c.bw, wire.MsgBeginQuery, nil); err != nil {
-		r.c.err = fmt.Errorf("client: write BeginQuery: %w", err)
-		return r.c.err
-	}
-	r.c.inQuery = true
-	r.begun = true
+	q.begun = true
 	return nil
 }
 
-// HeaderBytes downloads the public header (no PIR).
-func (r *remote) HeaderBytes() ([]byte, error) {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	if err := r.begin(); err != nil {
+// roundTrip sends one request frame and waits for its reply. A dead context
+// abandons the wait (late replies are dropped by the reader); the caller is
+// expected to settle the query with Cancel.
+func (q *Query) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, want wire.MsgType) ([]byte, error) {
+	if err := q.c.writeFrame(t, q.id, payload, true); err != nil {
 		return nil, err
 	}
-	if err := r.c.send(wire.MsgHeaderReq, nil); err != nil {
-		return nil, r.c.latch(err)
+	select {
+	case f := <-q.resp:
+		if f.t == wire.MsgError {
+			if em, derr := wire.DecodeErrorMsg(f.payload); derr == nil {
+				return nil, &serverError{text: em.Text}
+			}
+			err := errors.New("client: server reported an undecodable error")
+			q.c.fail(err)
+			return nil, err
+		}
+		if f.t != want {
+			err := fmt.Errorf("client: expected %s, got %s", want, f.t)
+			q.c.fail(err)
+			return nil, err
+		}
+		return f.payload, nil
+	case <-q.c.done:
+		return nil, q.c.lastErr()
+	case <-ctx.Done():
+		// The reply may still arrive; drop it when it does. The query can
+		// no longer be driven — Cancel settles it.
+		q.c.release(q.id)
+		return nil, ctx.Err()
 	}
-	payload, err := r.c.expect(wire.MsgHeader)
+}
+
+// HeaderBytes downloads the public header (no PIR).
+func (q *Query) HeaderBytes(ctx context.Context) ([]byte, error) {
+	if err := q.begin(); err != nil {
+		return nil, err
+	}
+	payload, err := q.roundTrip(ctx, wire.MsgHeaderReq, nil, wire.MsgHeader)
 	if err != nil {
-		return nil, r.c.latch(err)
+		return nil, err
 	}
 	h, err := wire.DecodeHeader(payload)
 	if err != nil {
-		return nil, r.c.latch(err)
+		q.c.fail(err)
+		return nil, err
 	}
 	return h.Data, nil
 }
 
 // FileInfo answers from the Welcome's public file table without a round
 // trip.
-func (r *remote) FileInfo(name string) (lbs.FileInfo, error) {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	info, ok := r.c.files[name]
+func (q *Query) FileInfo(name string) (lbs.FileInfo, error) {
+	info, ok := q.c.files[name]
 	if !ok {
 		return lbs.FileInfo{}, fmt.Errorf("client: no such file %q", name)
 	}
@@ -280,25 +450,17 @@ func (r *remote) FileInfo(name string) (lbs.FileInfo, error) {
 
 // NextRound is fire-and-forget: the frame rides in front of the round's
 // first Fetch, so every protocol round costs exactly one real round trip.
-func (r *remote) NextRound() error {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	if err := r.begin(); err != nil {
+func (q *Query) NextRound(context.Context) error {
+	if err := q.begin(); err != nil {
 		return err
 	}
-	if err := wire.WriteFrame(r.c.bw, wire.MsgNextRound, nil); err != nil {
-		r.c.err = fmt.Errorf("client: write NextRound: %w", err)
-		return r.c.err
-	}
-	return nil
+	return q.c.writeFrame(wire.MsgNextRound, q.id, nil, false)
 }
 
 // ReadPages ships the batch in one Fetch frame and one reply. Batches
 // beyond the frame's 16-bit count limit are chunked transparently.
-func (r *remote) ReadPages(file string, pages []int) ([][]byte, error) {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	if err := r.begin(); err != nil {
+func (q *Query) ReadPages(ctx context.Context, file string, pages []int) ([][]byte, error) {
+	if err := q.begin(); err != nil {
 		return nil, err
 	}
 	out := make([][]byte, 0, len(pages))
@@ -307,7 +469,7 @@ func (r *remote) ReadPages(file string, pages []int) ([][]byte, error) {
 		if end > len(pages) {
 			end = len(pages)
 		}
-		chunk, err := r.readChunk(file, pages[start:end])
+		chunk, err := q.readChunk(ctx, file, pages[start:end])
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +478,7 @@ func (r *remote) ReadPages(file string, pages []int) ([][]byte, error) {
 	return out, nil
 }
 
-func (r *remote) readChunk(file string, pages []int) ([][]byte, error) {
+func (q *Query) readChunk(ctx context.Context, file string, pages []int) ([][]byte, error) {
 	req := wire.Fetch{File: file, Pages: make([]uint32, len(pages))}
 	for i, p := range pages {
 		if p < 0 {
@@ -324,22 +486,66 @@ func (r *remote) readChunk(file string, pages []int) ([][]byte, error) {
 		}
 		req.Pages[i] = uint32(p)
 	}
-	if err := r.c.send(wire.MsgFetch, req.Encode()); err != nil {
-		return nil, r.c.latch(err)
-	}
-	payload, err := r.c.expect(wire.MsgPages)
+	payload, err := q.roundTrip(ctx, wire.MsgFetch, req.Encode(), wire.MsgPages)
 	if err != nil {
-		return nil, r.c.latch(err)
+		return nil, err
 	}
 	resp, err := wire.DecodePages(payload)
 	if err != nil {
-		return nil, r.c.latch(err)
+		q.c.fail(err)
+		return nil, err
 	}
 	if len(resp.Pages) != len(pages) {
-		return nil, r.c.latch(fmt.Errorf("client: got %d pages, want %d", len(resp.Pages), len(pages)))
+		err := fmt.Errorf("client: got %d pages, want %d", len(resp.Pages), len(pages))
+		q.c.fail(err)
+		return nil, err
 	}
 	return resp.Pages, nil
 }
 
 // Model returns the cost-model parameters the daemon announced.
-func (r *remote) Model() costmodel.Params { return r.c.model }
+func (q *Query) Model() costmodel.Params { return q.c.model }
+
+// End completes the query session and returns the trace the daemon
+// observed for it — the adversarial view of the query just run.
+func (q *Query) End(ctx context.Context) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q.done {
+		return "", errors.New("client: query already settled")
+	}
+	if !q.begun {
+		return "", errors.New("client: no query in flight")
+	}
+	payload, err := q.roundTrip(ctx, wire.MsgEndQuery, nil, wire.MsgQueryDone)
+	if err != nil {
+		return "", err
+	}
+	done, err := wire.DecodeQueryDone(payload)
+	if err != nil {
+		q.c.fail(err)
+		return "", err
+	}
+	q.done = true
+	q.c.release(q.id)
+	return done.Trace, nil
+}
+
+// Cancel settles an unfinished query: a best-effort CANCEL frame tells the
+// daemon to abort any in-flight work for it and account the abort under the
+// given wire.Cancel* reason (wire.CancelAbandon discards the partial query
+// entirely — right for queries that failed rather than were called off).
+// Safe to call after End or a previous Cancel (a no-op then), so callers
+// may defer it.
+func (q *Query) Cancel(reason uint8) {
+	if q.done {
+		return
+	}
+	q.done = true
+	if q.begun {
+		// Best-effort: the daemon also aborts on connection teardown.
+		q.c.writeFrame(wire.MsgCancel, q.id, wire.Cancel{Reason: reason}.Encode(), true)
+	}
+	q.c.release(q.id)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func executorFor(q func(geom.Point, geom.Point) (*base.Result, error)) Executor 
 }
 
 // serveExec builds an executor from a scheme build result.
-func serveExec(t *testing.T, db *lbs.Database, err error, q func(lbs.Service, geom.Point, geom.Point) (*base.Result, error)) Executor {
+func serveExec(t *testing.T, db *lbs.Database, err error, q func(context.Context, lbs.Service, geom.Point, geom.Point) (*base.Result, error)) Executor {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +41,7 @@ func serveExec(t *testing.T, db *lbs.Database, err error, q func(lbs.Service, ge
 	if err != nil {
 		t.Fatal(err)
 	}
-	return executorFor(func(s, d geom.Point) (*base.Result, error) { return q(srv, s, d) })
+	return executorFor(func(s, d geom.Point) (*base.Result, error) { return q(context.Background(), srv, s, d) })
 }
 
 // TestTheorem1AcrossAllSchemes is the repository's capstone privacy test:
@@ -91,7 +92,7 @@ func TestObfuscationLosesTheGame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec := executorFor(srv.Query)
+	exec := executorFor(func(s, d geom.Point) (*base.Result, error) { return srv.Query(context.Background(), s, d) })
 	adv, err := MeasureAdvantage(exec, func(i int) geom.Point { return g.Point(graph.NodeID(i)) },
 		g.NumNodes(), 4, 4, 7)
 	if err != nil {

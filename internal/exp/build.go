@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,7 +24,7 @@ import (
 )
 
 // serve wraps an lbs database into a Servable.
-func (r *Runner) serve(name string, db *lbs.Database, q func(lbs.Service, geom.Point, geom.Point) (*base.Result, error)) (Servable, error) {
+func (r *Runner) serve(name string, db *lbs.Database, q func(context.Context, lbs.Service, geom.Point, geom.Point) (*base.Result, error)) (Servable, error) {
 	// Experiments may legitimately exceed the real PIR size limit at full
 	// scale (that is one of the paper's findings); the harness keeps
 	// serving and flags the overflow in the tables instead of refusing.
@@ -39,7 +40,7 @@ func (r *Runner) serve(name string, db *lbs.Database, q func(lbs.Service, geom.P
 		Name:  name,
 		Bytes: db.TotalBytes(),
 		DB:    db,
-		Query: func(s, t geom.Point) (*base.Result, error) { return q(srv, s, t) },
+		Query: func(s, t geom.Point) (*base.Result, error) { return q(context.Background(), srv, s, t) },
 	}, nil
 }
 
@@ -136,7 +137,7 @@ func (r *Runner) BuildOBF(g *graph.Graph, setSize int) (Servable, error) {
 	return Servable{
 		Name:  fmt.Sprintf("OBF(%d)", setSize),
 		Bytes: srv.DatabaseBytes(),
-		Query: srv.Query,
+		Query: func(s, t geom.Point) (*base.Result, error) { return srv.Query(context.Background(), s, t) },
 	}, nil
 }
 

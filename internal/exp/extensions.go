@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gen"
@@ -34,11 +35,11 @@ func (r *Runner) Extensions() ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		agg, err := r.RunWorkloadUnchecked(g, func(s, t Point) (*base.Result, error) { return ci.Query(srv, s, t) })
+		agg, err := r.RunWorkloadUnchecked(g, func(s, t Point) (*base.Result, error) { return ci.Query(context.Background(), srv, s, t) })
 		if err != nil {
 			return nil, err
 		}
-		q, err := ci.EvaluateApproximation(srv, g, r.Cfg.Queries, r.Cfg.Seed)
+		q, err := ci.EvaluateApproximation(context.Background(), srv, g, r.Cfg.Queries, r.Cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@
 package lbs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -109,29 +110,32 @@ type FileInfo struct {
 // Backend is the raw service surface a Conn drives: header download and PIR
 // page retrieval. The in-process Server implements it directly; the remote
 // wire client implements it over TCP, so the schemes execute identical
-// protocol logic against either deployment.
+// protocol logic against either deployment. Every operation that can block
+// takes the query's context: a backend honors cancellation while work is
+// queued (waiting for a pool slot, waiting for a wire reply) and returns
+// ctx.Err() once the context is dead.
 type Backend interface {
 	// HeaderBytes returns the public header file.
-	HeaderBytes() ([]byte, error)
+	HeaderBytes(ctx context.Context) ([]byte, error)
 	// FileInfo returns the public metadata of the named file.
 	FileInfo(name string) (FileInfo, error)
 	// NextRound signals the start of the next protocol round to the
 	// service, which records it in the adversary-visible trace.
-	NextRound() error
+	NextRound(ctx context.Context) error
 	// ReadPages retrieves the given pages of one file through the PIR
 	// interface — a single batched round trip for remote backends. The
 	// page indices travel encrypted to the SCP; the adversary observes
 	// only how many pages of the file were read.
-	ReadPages(file string, pages []int) ([][]byte, error)
+	ReadPages(ctx context.Context, file string, pages []int) ([][]byte, error)
 	// Model returns the cost-model parameters for the simulated stats.
 	Model() costmodel.Params
 }
 
 // Service is what a scheme's query protocol needs from a deployment: the
-// ability to open a per-query connection. *Server and the remote client
-// both implement it.
+// ability to open a per-query connection governed by the query's context.
+// *Server and the remote client's per-query session both implement it.
 type Service interface {
-	Connect() *Conn
+	Connect(ctx context.Context) *Conn
 }
 
 // StoreFactory turns a page file into a PIR store. The default uses
@@ -183,9 +187,10 @@ type Server struct {
 	db     *Database
 	model  costmodel.Params
 	stores map[string]pir.Store
-	// serial holds a per-store mutex for stores that are NOT BatchStores:
-	// one stateful ORAM structure admits exactly one read at a time.
-	serial map[string]*sync.Mutex
+	// serial holds a per-store lock (a 1-slot channel, so waiting for it
+	// is cancellable) for stores that are NOT BatchStores: one stateful
+	// ORAM structure admits exactly one read at a time.
+	serial map[string]chan struct{}
 
 	workers int
 	sem     chan struct{}
@@ -221,7 +226,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		db:      db,
 		model:   model,
 		stores:  map[string]pir.Store{},
-		serial:  map[string]*sync.Mutex{},
+		serial:  map[string]chan struct{}{},
 		workers: 1,
 	}
 	for _, opt := range opts {
@@ -239,7 +244,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		}
 		s.stores[f.Name()] = st
 		if _, ok := st.(pir.BatchStore); !ok {
-			s.serial[f.Name()] = &sync.Mutex{}
+			s.serial[f.Name()] = make(chan struct{}, 1)
 		}
 	}
 	return s, nil
@@ -252,7 +257,7 @@ func (s *Server) Database() *Database { return s.db }
 func (s *Server) Model() costmodel.Params { return s.model }
 
 // HeaderBytes returns the public header file.
-func (s *Server) HeaderBytes() ([]byte, error) { return s.db.Header, nil }
+func (s *Server) HeaderBytes(context.Context) ([]byte, error) { return s.db.Header, nil }
 
 // FileInfo returns the metadata of one hosted file.
 func (s *Server) FileInfo(name string) (FileInfo, error) {
@@ -274,24 +279,35 @@ func (s *Server) Files() []FileInfo {
 
 // NextRound is a no-op for the in-process backend: the Conn itself records
 // the round in the trace.
-func (s *Server) NextRound() error { return nil }
+func (s *Server) NextRound(context.Context) error { return nil }
 
 // ReadPages retrieves pages through the PIR stores. Safe for concurrent use
 // by any number of connections: batches against a pir.BatchStore fan out
 // across the server's bounded worker pool, while stores without batch
 // support (the single-structure ORAMs) serialize on a per-store mutex.
-func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
+// Cancelling ctx aborts the batch at read boundaries — a read waiting for a
+// pool slot or for the per-store serial lock gives up immediately and the
+// worker is freed — but a page read that started always completes, so the
+// caller records fetches all-or-nothing.
+func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]byte, error) {
 	st, ok := s.stores[file]
 	if !ok {
 		return nil, fmt.Errorf("lbs: no such file %q", file)
 	}
 	bs, ok := st.(pir.BatchStore)
 	if !ok {
-		mu := s.serial[file]
-		mu.Lock()
-		defer mu.Unlock()
+		lock := s.serial[file]
+		select {
+		case lock <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-lock }()
 		out := make([][]byte, len(pages))
 		for i, p := range pages {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			data, err := st.Read(p)
 			if err != nil {
 				return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
@@ -306,10 +322,15 @@ func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
 		workers = len(pages)
 	}
 	if workers <= 1 {
-		s.acquire()
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
 		defer s.release()
-		out, err := bs.ReadBatch(pages)
+		out, err := bs.ReadBatch(ctx, pages)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
 		}
 		if len(out) != len(pages) {
@@ -336,16 +357,27 @@ func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()
-			s.acquire()
+			if err := s.acquire(ctx); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
 			defer s.release()
-			chunk, err := bs.ReadBatch(pages[start:end])
+			chunk, err := bs.ReadBatch(ctx, pages[start:end])
 			if err == nil && len(chunk) != end-start {
 				err = fmt.Errorf("store returned %d pages, want %d", len(chunk), end-start)
 			}
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
-					firstErr = fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
+					if ctx.Err() != nil {
+						firstErr = ctx.Err()
+					} else {
+						firstErr = fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
+					}
 				}
 				errMu.Unlock()
 				return
@@ -360,17 +392,25 @@ func (s *Server) ReadPages(file string, pages []int) ([][]byte, error) {
 	return out, nil
 }
 
-// acquire takes one pool slot. The queue gauge counts only genuine waits —
-// a free slot is taken without ever reporting the read as queued.
-func (s *Server) acquire() {
+// acquire takes one pool slot, or returns ctx.Err() if the context dies
+// while the read is queued — the cancellation path that frees a worker the
+// query no longer wants. The queue gauge counts only genuine waits — a free
+// slot is taken without ever reporting the read as queued.
+func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		s.queued.Add(1)
-		s.sem <- struct{}{}
-		s.queued.Add(-1)
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return ctx.Err()
+		}
 	}
 	s.busy.Add(1)
+	return nil
 }
 
 func (s *Server) release() {
@@ -385,8 +425,9 @@ func (s *Server) PoolStats() (workers, busy, queued int) {
 	return s.workers, int(s.busy.Load()), int(s.queued.Load())
 }
 
-// Connect opens a client connection (one per query in the experiments).
-func (s *Server) Connect() *Conn { return NewConn(s) }
+// Connect opens a client connection (one per query in the experiments),
+// bound to the query's context.
+func (s *Server) Connect(ctx context.Context) *Conn { return NewConn(ctx, s) }
 
 // Stats aggregates the response-time components of Table 3 for one query.
 type Stats struct {
@@ -409,19 +450,33 @@ func (s Stats) Response() time.Duration { return s.PIR + s.Comm + s.Client + s.S
 // Conn is a client's secure connection to the SCP for one query. It keeps
 // the protocol bookkeeping — rounds, stats, the adversary-visible trace —
 // and delegates the raw operations to its Backend.
+//
+// The connection is governed by the query's context. Cancellation is
+// honored at round boundaries only: BeginRound checks the context before
+// announcing the next round, so a query cancelled mid-round finishes the
+// round it is in and aborts before the next one begins. The service
+// therefore observes either k complete rounds or a round whose in-flight
+// fetch it refused itself — in both cases a prefix of the one full-query
+// trace, so a cancelled query leaks nothing beyond its (data-independent)
+// abort time (Theorem 1 is preserved).
 type Conn struct {
+	ctx     context.Context
 	backend Backend
 	model   costmodel.Params
 	stats   Stats
 	fetches map[string]int
 	trace   strings.Builder
 	round   int
-	err     error // first backend error; surfaced by every later call
+	err     error // first backend or context error; surfaced by every later call
 }
 
-// NewConn opens a connection over an arbitrary backend.
-func NewConn(b Backend) *Conn {
-	return &Conn{backend: b, model: b.Model(), fetches: map[string]int{}}
+// NewConn opens a connection over an arbitrary backend, governed by the
+// query's context (nil means context.Background()).
+func NewConn(ctx context.Context, b Backend) *Conn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Conn{ctx: ctx, backend: b, model: b.Model(), fetches: map[string]int{}}
 }
 
 // DownloadHeader returns the full header file. It is public data fetched by
@@ -430,7 +485,11 @@ func (c *Conn) DownloadHeader() ([]byte, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	h, err := c.backend.HeaderBytes()
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	h, err := c.backend.HeaderBytes(c.ctx)
 	if err != nil {
 		c.err = err
 		return nil, err
@@ -442,12 +501,19 @@ func (c *Conn) DownloadHeader() ([]byte, error) {
 }
 
 // BeginRound starts the next protocol round (one client→SCP round trip).
-// A backend failure is deferred to the round's first Fetch.
+// A backend failure is deferred to the round's first Fetch. This is the
+// round boundary where cancellation takes effect: a dead context stops the
+// query here, before the round is announced to the service, so the
+// service-visible trace ends after a complete round.
 func (c *Conn) BeginRound() {
 	if c.err != nil {
 		return
 	}
-	if err := c.backend.NextRound(); err != nil {
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return
+	}
+	if err := c.backend.NextRound(c.ctx); err != nil {
 		c.err = err
 		return
 	}
@@ -480,7 +546,7 @@ func (c *Conn) FetchMany(file string, pages []int) ([][]byte, error) {
 		c.err = err
 		return nil, err
 	}
-	data, err := c.backend.ReadPages(file, pages)
+	data, err := c.backend.ReadPages(c.ctx, file, pages)
 	if err != nil {
 		c.err = err
 		return nil, err

@@ -2,6 +2,7 @@ package lbs
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/pagefile"
+	"repro/internal/pir"
 	"repro/internal/plan"
 )
 
@@ -96,7 +98,7 @@ func TestConnAccountingAndTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := srv.Connect()
+	conn := srv.Connect(context.Background())
 	h, err := conn.DownloadHeader()
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +150,7 @@ func TestConformsToCatchesDeviation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := srv.Connect()
+	conn := srv.Connect(context.Background())
 	if _, err := conn.DownloadHeader(); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestFetchErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := srv.Connect()
+	conn := srv.Connect(context.Background())
 	if _, err := conn.Fetch("nope", 0); err == nil {
 		t.Error("unknown file fetched")
 	}
@@ -211,7 +213,7 @@ func TestParallelReadPages(t *testing.T) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					got, err := srv.ReadPages("Fbig", batch)
+					got, err := srv.ReadPages(context.Background(), "Fbig", batch)
 					if err != nil {
 						t.Errorf("%s/w=%d: %v", fname, workers, err)
 						return
@@ -228,7 +230,7 @@ func TestParallelReadPages(t *testing.T) {
 			if _, b, q := srv.PoolStats(); b != 0 || q != 0 {
 				t.Errorf("%s/w=%d: gauges busy=%d queued=%d after drain", fname, workers, b, q)
 			}
-			if _, err := srv.ReadPages("Fbig", []int{pagesN}); err == nil {
+			if _, err := srv.ReadPages(context.Background(), "Fbig", []int{pagesN}); err == nil {
 				t.Errorf("%s/w=%d: out-of-range batch accepted", fname, workers)
 			}
 		}
@@ -251,7 +253,7 @@ func TestSerialStoresServeConcurrently(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				p := (c + i) % 4
-				got, err := srv.ReadPages("Fa", []int{p})
+				got, err := srv.ReadPages(context.Background(), "Fa", []int{p})
 				if err != nil {
 					t.Errorf("conn %d: %v", c, err)
 					return
@@ -272,7 +274,7 @@ func TestORAMStoresServeCorrectly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := srv.Connect()
+	conn := srv.Connect(context.Background())
 	page, err := conn.Fetch("Fb", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +290,7 @@ func TestPyramidStoresServeCorrectly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := srv.Connect()
+	conn := srv.Connect(context.Background())
 	for i := 0; i < 10; i++ {
 		page, err := conn.Fetch("Fa", i%4)
 		if err != nil {
@@ -297,5 +299,139 @@ func TestPyramidStoresServeCorrectly(t *testing.T) {
 		if page[0] != byte(i%4) {
 			t.Fatalf("pyramid-backed fetch %d returned wrong page", i)
 		}
+	}
+}
+
+// blockingStore parks every read until released, so tests can fill the
+// worker pool deterministically.
+type blockingStore struct {
+	inner   *pir.Plain
+	release chan struct{}
+}
+
+func (b *blockingStore) Read(page int) ([]byte, error) { return b.inner.Read(page) }
+func (b *blockingStore) NumPages() int                 { return b.inner.NumPages() }
+func (b *blockingStore) PageSize() int                 { return b.inner.PageSize() }
+func (b *blockingStore) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.inner.ReadBatch(ctx, pages)
+}
+
+// TestReadPagesCancelledWhileQueued: with the single pool slot held by a
+// parked read, a second read waits in the queue; cancelling its context
+// frees it with ctx.Err() and the pool gauges return to idle — no worker is
+// left owned by a query nobody wants.
+func TestReadPagesCancelledWhileQueued(t *testing.T) {
+	db := sampleDB(t)
+	release := make(chan struct{})
+	srv, err := NewServer(db, costmodel.Default(), func(f pagefile.Reader) (pir.Store, error) {
+		return &blockingStore{inner: pir.NewPlain(f), release: release}, nil
+	}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holder := make(chan error, 1)
+	go func() {
+		_, err := srv.ReadPages(context.Background(), "Fa", []int{0})
+		holder <- err
+	}()
+	// Wait until the slot is held.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, busy, _ := srv.PoolStats(); busy == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool slot never taken")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := srv.ReadPages(ctx, "Fa", []int{1})
+		queued <- err
+	}()
+	for {
+		if _, _, q := srv.PoolStats(); q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second read never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-queued; err != context.Canceled {
+		t.Fatalf("queued read: err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-holder; err != nil {
+		t.Fatalf("holding read: %v", err)
+	}
+	if _, busy, q := srv.PoolStats(); busy != 0 || q != 0 {
+		t.Errorf("gauges busy=%d queued=%d after cancel+drain", busy, q)
+	}
+}
+
+// parkedStore is a non-batch Store whose reads park until released — the
+// serial (per-store lock) serving path under a long-running holder.
+type parkedStore struct {
+	inner   pir.Store
+	release chan struct{}
+}
+
+func (p *parkedStore) Read(page int) ([]byte, error) { <-p.release; return p.inner.Read(page) }
+func (p *parkedStore) NumPages() int                 { return p.inner.NumPages() }
+func (p *parkedStore) PageSize() int                 { return p.inner.PageSize() }
+
+// TestSerialLockCancellable: a read waiting for a non-batch store's serial
+// lock aborts with ctx.Err() when cancelled, instead of blocking until the
+// lock holder finishes.
+func TestSerialLockCancellable(t *testing.T) {
+	db := sampleDB(t)
+	release := make(chan struct{})
+	srv, err := NewServer(db, costmodel.Default(), func(f pagefile.Reader) (pir.Store, error) {
+		return &parkedStore{inner: pir.NewPlain(f), release: release}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	holder := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := srv.ReadPages(context.Background(), "Fa", []int{0})
+		holder <- err
+	}()
+	<-started
+	// Give the holder a moment to take the serial lock and park in Read.
+	time.Sleep(10 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := srv.ReadPages(ctx, "Fa", []int{1})
+		waiter <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiter:
+		if err != context.Canceled {
+			t.Fatalf("waiting read: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled read still waiting on the serial lock")
+	}
+	close(release)
+	if err := <-holder; err != nil {
+		t.Fatalf("lock holder: %v", err)
 	}
 }

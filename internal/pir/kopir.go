@@ -1,6 +1,7 @@
 package pir
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
@@ -160,7 +161,9 @@ func (k *KOPIR) isQR(y *big.Int) bool {
 
 // ReadBatch implements BatchStore: bit queries touch only the immutable
 // page matrix and the public modulus, so batched reads are independent.
-func (k *KOPIR) ReadBatch(pages []int) ([][]byte, error) { return readEach(k, pages) }
+func (k *KOPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	return readEach(ctx, k, pages)
+}
 
 // NumPages implements Store.
 func (k *KOPIR) NumPages() int { return k.numPages }

@@ -19,6 +19,7 @@
 package pir
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pagefile"
@@ -55,15 +56,24 @@ type Store interface {
 type BatchStore interface {
 	Store
 	// ReadBatch returns the content of the given logical pages, in request
-	// order. It fails on the first page error.
-	ReadBatch(pages []int) ([][]byte, error)
+	// order. It fails on the first page error. Implementations check ctx at
+	// read boundaries — between individual page retrievals, never inside
+	// one — so a cancelled batch stops promptly but each page read that
+	// started runs to completion: the serving layer records fetches
+	// all-or-nothing, keeping a cancelled query's server-visible trace a
+	// prefix of a full one.
+	ReadBatch(ctx context.Context, pages []int) ([][]byte, error)
 }
 
 // readEach is the sequential ReadBatch shared by stores whose single reads
-// are already cheap or internally parallel.
-func readEach(s Store, pages []int) ([][]byte, error) {
+// are already cheap or internally parallel. ctx is checked between page
+// reads (the read boundaries), never mid-read.
+func readEach(ctx context.Context, s Store, pages []int) ([][]byte, error) {
 	out := make([][]byte, len(pages))
 	for i, p := range pages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		data, err := s.Read(p)
 		if err != nil {
 			return nil, err
@@ -112,7 +122,9 @@ func (p *Plain) Read(page int) ([]byte, error) {
 }
 
 // ReadBatch implements BatchStore.
-func (p *Plain) ReadBatch(pages []int) ([][]byte, error) { return readEach(p, pages) }
+func (p *Plain) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	return readEach(ctx, p, pages)
+}
 
 // NumPages returns the page count.
 func (p *Plain) NumPages() int { return p.src.NumPages() }

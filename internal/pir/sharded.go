@@ -1,6 +1,7 @@
 package pir
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -106,8 +107,11 @@ func (o *ShardedORAM) Read(page int) ([]byte, error) {
 // concurrent ReadBatch/Read callers: while this call works inside shard A,
 // another caller proceeds through shard B. Within a shard the group runs
 // in request order, so each shard's access pattern stays exactly that of a
-// serial SqrtORAM.
-func (o *ShardedORAM) ReadBatch(pages []int) ([][]byte, error) {
+// serial SqrtORAM. ctx is checked at shard boundaries — before taking each
+// shard lock — so a cancelled batch never starts another (slow, stateful)
+// shard group but never aborts one midway either: a shard either served its
+// whole group or none of it, and its reshuffle schedule stays coherent.
+func (o *ShardedORAM) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
 	for _, p := range pages {
 		if p < 0 || p >= o.numPages {
 			return nil, fmt.Errorf("pir: page %d of %d", p, o.numPages)
@@ -121,6 +125,9 @@ func (o *ShardedORAM) ReadBatch(pages []int) ([][]byte, error) {
 		groups[p%K] = append(groups[p%K], i)
 	}
 	for s, idxs := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sh := o.shards[s]
 		sh.mu.Lock()
 		for _, i := range idxs {

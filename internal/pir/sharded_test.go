@@ -2,6 +2,7 @@ package pir
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -34,7 +35,7 @@ func TestShardedORAMCorrectness(t *testing.T) {
 	// Batched reads return request order, including duplicates and
 	// cross-shard interleavings.
 	batch := []int{29, 0, 5, 5, 17, 2, 0}
-	got, err := o.ReadBatch(batch)
+	got, err := o.ReadBatch(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestShardedORAMCorrectness(t *testing.T) {
 	if _, err := o.Read(n); err == nil {
 		t.Error("out-of-range read accepted")
 	}
-	if _, err := o.ReadBatch([]int{0, -1}); err == nil {
+	if _, err := o.ReadBatch(context.Background(), []int{0, -1}); err == nil {
 		t.Error("negative page in batch accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestShardedORAMConcurrentBatches(t *testing.T) {
 				for i := range batch {
 					batch[i] = rng.Intn(n)
 				}
-				got, err := o.ReadBatch(batch)
+				got, err := o.ReadBatch(context.Background(), batch)
 				if err != nil {
 					errs <- err
 					return

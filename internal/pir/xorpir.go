@@ -1,6 +1,7 @@
 package pir
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -102,7 +103,9 @@ func (x *XORPIR) Read(page int) ([]byte, error) {
 
 // ReadBatch implements BatchStore: each read samples fresh query vectors
 // against the immutable replicas, so batched reads are independent.
-func (x *XORPIR) ReadBatch(pages []int) ([][]byte, error) { return readEach(x, pages) }
+func (x *XORPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	return readEach(ctx, x, pages)
+}
 
 // NumPages implements Store.
 func (x *XORPIR) NumPages() int { return x.numPages }

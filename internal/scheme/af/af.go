@@ -7,6 +7,7 @@
 package af
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -308,8 +309,8 @@ func simulate(part *kdtree.Partition, regions [][]base.RegionNode, flagBytes int
 }
 
 // Query answers one shortest path query against an AF server.
-func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := svc.Connect()
+func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect(ctx)
 	hdr, err := base.DownloadHeader(conn)
 	if err != nil {
 		return nil, err

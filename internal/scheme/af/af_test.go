@@ -1,6 +1,7 @@
 package af
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -34,7 +35,7 @@ func TestQueryMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func TestIndistinguishability(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -101,14 +102,16 @@ func (q ApproxQuality) String() string {
 
 // EvaluateApproximation runs a sampled workload against an (approximate) CI
 // server and compares every answer with exact Dijkstra on the full network.
-func EvaluateApproximation(svc lbs.Service, g *graph.Graph, queries int, seed int64) (ApproxQuality, error) {
+// ctx bounds the whole workload: cancellation aborts between queries and
+// mid-query at the next round boundary.
+func EvaluateApproximation(ctx context.Context, svc lbs.Service, g *graph.Graph, queries int, seed int64) (ApproxQuality, error) {
 	rng := rand.New(rand.NewSource(seed))
 	q := ApproxQuality{Queries: queries, MeanDeviation: 0, MaxDeviation: 1}
 	sum := 0.0
 	for i := 0; i < queries; i++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		t := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(svc, g.Point(s), g.Point(t))
+		res, err := Query(ctx, svc, g.Point(s), g.Point(t))
 		if err != nil {
 			return q, err
 		}

@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/costmodel"
@@ -32,7 +33,7 @@ func TestApproxShrinksPlanAndStaysClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := EvaluateApproximation(srv, g, 60, 5)
+	q, err := EvaluateApproximation(context.Background(), srv, g, 60, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestApproxIndistinguishability(t *testing.T) {
 	}
 	var ref string
 	for i := 0; i < 12; i++ {
-		res, err := Query(srv, g.Point(graph0(i*11%g.NumNodes())), g.Point(graph0((i*29+3)%g.NumNodes())))
+		res, err := Query(context.Background(), srv, g.Point(graph0(i*11%g.NumNodes())), g.Point(graph0((i*29+3)%g.NumNodes())))
 		if err != nil {
 			t.Fatal(err)
 		}

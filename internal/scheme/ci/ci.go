@@ -7,6 +7,7 @@
 package ci
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -153,8 +154,8 @@ func boolParam(b bool) int64 {
 // Query answers one private shortest path query against a CI server. The
 // access pattern follows the public plan exactly, padding with dummy
 // retrievals, regardless of the endpoints.
-func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := svc.Connect()
+func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect(ctx)
 	var tm base.Timer
 
 	// Round 1: header.

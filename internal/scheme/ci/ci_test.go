@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func TestQueryMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestQueryMatchesDijkstra(t *testing.T) {
 
 func TestSelfQuery(t *testing.T) {
 	g, srv := buildServer(t, DefaultOptions())
-	res, err := Query(srv, g.Point(0), g.Point(0))
+	res, err := Query(context.Background(), srv, g.Point(0), g.Point(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestIndistinguishability(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,11 +84,11 @@ func TestIndistinguishability(t *testing.T) {
 			t.Fatalf("trial %d trace differs:\n%s\nvs\n%s", trial, res.Trace, ref)
 		}
 	}
-	r1, err := Query(srv, g.Point(5), g.Point(9))
+	r1, err := Query(context.Background(), srv, g.Point(5), g.Point(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Query(srv, g.Point(5), g.Point(9))
+	r2, err := Query(context.Background(), srv, g.Point(5), g.Point(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestIndistinguishability(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	g, srv := buildServer(t, DefaultOptions())
-	res, err := Query(srv, g.Point(1), g.Point(graph.NodeID(g.NumNodes()-1)))
+	res, err := Query(context.Background(), srv, g.Point(1), g.Point(graph.NodeID(g.NumNodes()-1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestVariantsProduceCorrectResults(t *testing.T) {
 			for trial := 0; trial < 12; trial++ {
 				s := graph.NodeID(rng.Intn(g.NumNodes()))
 				d := graph.NodeID(rng.Intn(g.NumNodes()))
-				res, err := Query(srv, g.Point(s), g.Point(d))
+				res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -200,7 +201,7 @@ func TestArbitraryCoordinatesSnap(t *testing.T) {
 	p.Y -= 1e-4
 	q := g.Point(200)
 	q.X -= 1e-4
-	res, err := Query(srv, p, q)
+	res, err := Query(context.Background(), srv, p, q)
 	if err != nil {
 		t.Fatal(err)
 	}

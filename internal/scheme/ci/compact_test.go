@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -41,7 +42,7 @@ func TestCompactDataEndToEnd(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -30,7 +31,7 @@ func TestDirectedNetwork(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestDirectedIndistinguishability(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}

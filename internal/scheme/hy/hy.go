@@ -11,6 +11,7 @@
 package hy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -172,8 +173,8 @@ func windowOffset(entryPage, r, fiPart int) int {
 }
 
 // Query answers one private shortest path query against an HY server.
-func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := svc.Connect()
+func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect(ctx)
 	var tm base.Timer
 
 	hdr, err := base.DownloadHeader(conn)

@@ -1,6 +1,7 @@
 package hy
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -38,7 +39,7 @@ func TestQueryMatchesDijkstraAcrossThresholds(t *testing.T) {
 		for trial := 0; trial < 20; trial++ {
 			s := graph.NodeID(rng.Intn(g.NumNodes()))
 			d := graph.NodeID(rng.Intn(g.NumNodes()))
-			res, err := Query(srv, g.Point(s), g.Point(d))
+			res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 			if err != nil {
 				t.Fatalf("threshold %d trial %d: %v", th, trial, err)
 			}
@@ -61,7 +62,7 @@ func TestIndistinguishability(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestCompressionOffStillCorrect(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}

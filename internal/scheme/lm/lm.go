@@ -12,6 +12,7 @@
 package lm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -296,8 +297,8 @@ func simulate(part *kdtree.Partition, regions [][]base.RegionNode, lmDim int, di
 
 // Query answers one shortest path query against an LM server, following the
 // fixed plan with dummy padding.
-func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := svc.Connect()
+func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect(ctx)
 	hdr, err := base.DownloadHeader(conn)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@
 package obf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -99,8 +100,13 @@ func (s *Server) DatabaseBytes() int64 { return int64(s.dbPages) * int64(s.opt.P
 // Query runs one obfuscated query. Decoys are uniform random nodes; the
 // server computes one full Dijkstra per candidate source (covering every
 // candidate destination), which is the cheapest faithful execution of the
-// all-pairs requirement.
-func (s *Server) Query(sPt, tPt geom.Point) (*base.Result, error) {
+// all-pairs requirement. Cancelling ctx aborts between per-source Dijkstra
+// runs — OBF has no fixed plan to honor, so aborting mid-computation leaks
+// nothing the baseline does not already leak.
+func (s *Server) Query(ctx context.Context, sPt, tPt geom.Point) (*base.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := s.opt.SetSize
 	clientStart := time.Now()
 	sNode := s.g.NearestNode(sPt)
@@ -116,6 +122,9 @@ func (s *Server) Query(sPt, tPt geom.Point) (*base.Result, error) {
 	var want graph.Path
 	pathBytes := 0
 	for _, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tree := graph.Dijkstra(s.g, src)
 		for _, dst := range dests {
 			p := tree.PathTo(dst)

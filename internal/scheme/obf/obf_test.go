@@ -1,6 +1,7 @@
 package obf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -21,7 +22,7 @@ func TestQueryMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := srv.Query(g.Point(s), g.Point(d))
+		res, err := srv.Query(context.Background(), g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,11 +41,11 @@ func TestLeakageIsVisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := srv.Query(g.Point(3), g.Point(99))
+	r1, err := srv.Query(context.Background(), g.Point(3), g.Point(99))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := srv.Query(g.Point(7), g.Point(151))
+	r2, err := srv.Query(context.Background(), g.Point(7), g.Point(151))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestCostScalesWithSetSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := small.Query(g.Point(0), g.Point(50))
+	rs, err := small.Query(context.Background(), g.Point(0), g.Point(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := big.Query(g.Point(0), g.Point(50))
+	rb, err := big.Query(context.Background(), g.Point(0), g.Point(50))
 	if err != nil {
 		t.Fatal(err)
 	}

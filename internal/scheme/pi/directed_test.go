@@ -1,6 +1,7 @@
 package pi
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func TestDirectedNetwork(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func TestDirectedClusteredNetwork(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package pi
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -147,8 +148,8 @@ func boolParam(b bool) int64 {
 }
 
 // Query answers one private shortest path query against a PI / PI* server.
-func Query(svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
-	conn := svc.Connect()
+func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Result, error) {
+	conn := svc.Connect(ctx)
 	var tm base.Timer
 
 	hdr, err := base.DownloadHeader(conn)

@@ -1,6 +1,7 @@
 package pi
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func TestQueryMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestClusteredPIStarMatchesDijkstra(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestClusteredPIStarMatchesDijkstra(t *testing.T) {
 		}
 	}
 	// PI* fetches 2*ClusterPages region-data pages per query.
-	res, _ := Query(srv, g.Point(0), g.Point(7))
+	res, _ := Query(context.Background(), srv, g.Point(0), g.Point(7))
 	if got := res.Stats.Fetches[base.FileData]; got != 6 {
 		t.Errorf("PI* Fd fetches = %d, want 6", got)
 	}
@@ -81,7 +82,7 @@ func TestIndistinguishability(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		res, err := Query(srv, g.Point(s), g.Point(d))
+		res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestIndistinguishability(t *testing.T) {
 
 func TestPIQueryPlanIsThreeRoundsTwoDataPages(t *testing.T) {
 	g, srv := buildServer(t, DefaultOptions())
-	res, err := Query(srv, g.Point(3), g.Point(8))
+	res, err := Query(context.Background(), srv, g.Point(3), g.Point(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestVariantsProduceCorrectResults(t *testing.T) {
 			for trial := 0; trial < 12; trial++ {
 				s := graph.NodeID(rng.Intn(g.NumNodes()))
 				d := graph.NodeID(rng.Intn(g.NumNodes()))
-				res, err := Query(srv, g.Point(s), g.Point(d))
+				res, err := Query(context.Background(), srv, g.Point(s), g.Point(d))
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,11 +1,15 @@
 // Package server is the networked LBS daemon: it hosts one or more built
 // scheme databases behind the PIR interface and serves the wire protocol of
 // internal/wire over TCP. This is the untrusted party of §3.1 deployed for
-// real — per-connection sessions, a bounded worker pool for PIR page reads,
-// graceful shutdown, and a server-side trace recorder that captures exactly
-// the adversarial view: per query, the round structure and how many pages
-// of each file were read, never which pages. The privacy tests compare
-// these server-observed traces across distinct remote queries (Theorem 1).
+// real — per-connection sessions multiplexing concurrent queries by query
+// ID, a bounded worker pool for PIR page reads, per-query contexts so a
+// client CANCEL (or a dropped connection, or shutdown) aborts exactly the
+// work nobody wants anymore, and a server-side trace recorder that captures
+// exactly the adversarial view: per query, the round structure and how many
+// pages of each file were read, never which pages. The privacy tests
+// compare these server-observed traces across distinct remote queries, and
+// check that a cancelled query's trace is a prefix of a full one
+// (Theorem 1).
 package server
 
 import (
@@ -44,6 +48,11 @@ type hosted struct {
 	srv     *lbs.Server
 	queries atomic.Uint64
 	pages   atomic.Uint64
+	// Cancellation accounting: queries open right now, queries the client
+	// cancelled (context cancelled vs deadline expired).
+	inflight  atomic.Int32
+	cancelled atomic.Uint64
+	deadline  atomic.Uint64
 
 	mu     sync.Mutex
 	traces []string // ring of the most recent completed query traces
@@ -63,9 +72,16 @@ func (h *hosted) addTrace(tr string) {
 }
 
 // Server is the daemon. Host databases, then Serve a listener; Shutdown
-// stops accepting and waits for in-flight sessions.
+// stops accepting, cancels in-flight queries, and waits for sessions to
+// settle.
 type Server struct {
 	opts Options
+
+	// baseCtx is the root of every per-connection (and per-query) context;
+	// Shutdown cancels it, aborting in-flight queries instead of draining
+	// them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	mu     sync.Mutex
 	dbs    map[string]*hosted
@@ -93,10 +109,13 @@ func New(opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		opts:  opts,
-		dbs:   map[string]*hosted{},
-		conns: map[net.Conn]struct{}{},
+		opts:       opts,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		dbs:        map[string]*hosted{},
+		conns:      map[net.Conn]struct{}{},
 	}
 }
 
@@ -221,8 +240,12 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Shutdown stops accepting, waits for in-flight sessions until the context
-// expires, then force-closes the stragglers.
+// Shutdown stops accepting and cancels every in-flight query — aborting
+// queued PIR reads and notifying their clients — rather than draining them:
+// a query the daemon will never finish should fail now, not at the drain
+// deadline. It then waits for sessions to settle until the context expires
+// and force-closes the stragglers (clients that keep idle connections
+// open).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -231,6 +254,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.baseCancel()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -252,9 +276,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // readBatch serves one batched Fetch through the database's own worker
 // pool (lbs.Server.ReadPages fans the batch out and bounds the goroutines).
-// Page indices are validated up front so the error text names the hostile
-// index instead of surfacing from deep inside a store.
-func (s *Server) readBatch(h *hosted, file string, pages []uint32) ([][]byte, error) {
+// The query's context aborts a read waiting for a pool slot — freeing the
+// worker for queries that still want answers. Page indices are validated up
+// front so the error text names the hostile index instead of surfacing from
+// deep inside a store.
+func (s *Server) readBatch(ctx context.Context, h *hosted, file string, pages []uint32) ([][]byte, error) {
 	info, err := h.srv.FileInfo(file)
 	if err != nil {
 		return nil, err
@@ -266,7 +292,7 @@ func (s *Server) readBatch(h *hosted, file string, pages []uint32) ([][]byte, er
 		}
 		idx[i] = int(p)
 	}
-	return h.srv.ReadPages(file, idx)
+	return h.srv.ReadPages(ctx, file, idx)
 }
 
 // Traces returns the retained server-observed traces of the named database,
@@ -308,6 +334,9 @@ func (s *Server) Stats() wire.ServerStats {
 			Scheme:      h.srv.Database().Scheme,
 			Queries:     h.queries.Load(),
 			Pages:       h.pages.Load(),
+			InFlight:    uint32(max(h.inflight.Load(), 0)),
+			Cancelled:   h.cancelled.Load(),
+			Deadline:    h.deadline.Load(),
 			Workers:     uint32(workers),
 			BusyWorkers: uint32(busy),
 			QueuedReads: uint32(queued),

@@ -116,29 +116,32 @@ func dialDB(t testing.TB, addr, db string) *client.Client {
 
 // queryScheme dispatches to the scheme protocol the service hosts — the
 // same code path for in-process and remote services.
-func queryScheme(svc lbs.Service, scheme string, s, d graph.NodeID, g *graph.Graph) (*base.Result, error) {
+func queryScheme(ctx context.Context, svc lbs.Service, scheme string, s, d graph.NodeID, g *graph.Graph) (*base.Result, error) {
 	switch scheme {
 	case "CI":
-		return ci.Query(svc, g.Point(s), g.Point(d))
+		return ci.Query(ctx, svc, g.Point(s), g.Point(d))
 	case "PI":
-		return pi.Query(svc, g.Point(s), g.Point(d))
+		return pi.Query(ctx, svc, g.Point(s), g.Point(d))
 	case "HY":
-		return hy.Query(svc, g.Point(s), g.Point(d))
+		return hy.Query(ctx, svc, g.Point(s), g.Point(d))
 	case "AF":
-		return af.Query(svc, g.Point(s), g.Point(d))
+		return af.Query(ctx, svc, g.Point(s), g.Point(d))
 	case "LM":
-		return lm.Query(svc, g.Point(s), g.Point(d))
+		return lm.Query(ctx, svc, g.Point(s), g.Point(d))
 	}
 	return nil, fmt.Errorf("unknown scheme %s", scheme)
 }
 
-// remoteQuery runs one query over the wire and closes the query session.
+// remoteQuery runs one query session over the wire and settles it.
 func remoteQuery(c *client.Client, scheme string, s, d graph.NodeID, g *graph.Graph) (*base.Result, string, error) {
-	res, err := queryScheme(c, scheme, s, d, g)
-	trace, terr := c.EndQuery()
+	ctx := context.Background()
+	qs := c.StartQuery()
+	res, err := queryScheme(ctx, qs, scheme, s, d, g)
 	if err != nil {
+		qs.Cancel(wire.CancelAbandon)
 		return nil, "", err
 	}
+	trace, terr := qs.End(ctx)
 	if terr != nil {
 		return nil, "", terr
 	}
@@ -162,7 +165,7 @@ func TestRemoteMatchesInProcess(t *testing.T) {
 			for trial := 0; trial < 8; trial++ {
 				s := graph.NodeID(rng.Intn(g.NumNodes()))
 				d := graph.NodeID(rng.Intn(g.NumNodes()))
-				want, err := queryScheme(local, scheme, s, d, g)
+				want, err := queryScheme(context.Background(), local, scheme, s, d, g)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -290,13 +293,15 @@ func TestDatabaseSelection(t *testing.T) {
 	if unbound.Scheme() != "" || unbound.Database() != "" {
 		t.Errorf("unbound session resolved to %s/%s", unbound.Database(), unbound.Scheme())
 	}
-	if st, err := unbound.ServerStats(); err != nil || len(st.Databases) != 2 {
+	if st, err := unbound.ServerStats(context.Background()); err != nil || len(st.Databases) != 2 {
 		t.Errorf("stats on unbound session: %+v, %v", st, err)
 	}
-	conn := unbound.Connect()
+	uq := unbound.StartQuery()
+	conn := uq.Connect(context.Background())
 	if _, err := conn.DownloadHeader(); err == nil {
 		t.Error("query op on unbound session succeeded")
 	}
+	uq.Cancel(wire.CancelAbandon)
 	if _, err := client.Dial(addr, client.Options{Database: "nope"}); err == nil {
 		t.Error("unknown database accepted")
 	}
@@ -308,26 +313,30 @@ func TestDatabaseSelection(t *testing.T) {
 	}
 }
 
-// TestSessionSurvivesRejectedRequests: a server-side rejection must not
-// desynchronize the stream — the same connection then serves a valid query
-// — and an abandoned query leaves no partial trace in the audit ring.
+// TestSessionSurvivesRejectedRequests: a server-side rejection concerns one
+// query only — the same connection then serves a valid query — and an
+// abandoned query leaves no partial trace in the audit ring.
 func TestSessionSurvivesRejectedRequests(t *testing.T) {
 	g, dbs := fixture(t)
 	srv, addr := startServer(t, "CI")
 	c := dialDB(t, addr, "")
 	// An unknown file fails fast against the Welcome's public file table,
 	// before any bytes go out.
-	conn := c.Connect()
+	q1 := c.StartQuery()
+	conn := q1.Connect(context.Background())
 	if _, err := conn.Fetch("no-such-file", 0); err == nil {
 		t.Fatal("fetch of unknown file succeeded")
 	}
-	// An out-of-range page of a real file is rejected by the server; the
-	// stream stays in sync, and abandoning discards the partial query.
-	conn = c.Connect()
+	q1.Cancel(wire.CancelAbandon)
+	// An out-of-range page of a real file is rejected by the server;
+	// abandoning discards the partial query, and the connection serves the
+	// next one untroubled.
+	q2 := c.StartQuery()
+	conn = q2.Connect(context.Background())
 	if _, err := conn.Fetch(base.FileLookup, 1<<20); err == nil {
 		t.Fatal("out-of-range fetch succeeded")
 	}
-	c.AbandonQuery()
+	q2.Cancel(wire.CancelAbandon)
 	if res, _, err := remoteQuery(c, "CI", 1, 2, g); err != nil || !res.Found() {
 		t.Fatalf("connection unusable after rejection: %v", err)
 	}
@@ -420,10 +429,10 @@ func TestRejectsVersionMismatch(t *testing.T) {
 	}
 	defer conn.Close()
 	hello := wire.Hello{Version: 99, Database: ""}
-	if err := wire.WriteFrame(conn, wire.MsgHello, hello.Encode()); err != nil {
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.ControlID, hello.Encode()); err != nil {
 		t.Fatal(err)
 	}
-	typ, payload, err := wire.ReadFrame(conn, wire.DefaultMaxFrame)
+	typ, _, payload, err := wire.ReadFrame(conn, wire.DefaultMaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,18 +444,15 @@ func TestRejectsVersionMismatch(t *testing.T) {
 	}
 }
 
-// benchServed measures one full private query per iteration.
-func benchQueries(b *testing.B, svc lbs.Service, scheme string, g *graph.Graph, end func()) {
+// benchQueries measures one full private query per iteration.
+func benchQueries(b *testing.B, run func(s, d graph.NodeID) error, g *graph.Graph) {
 	rng := rand.New(rand.NewSource(42))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
-		if _, err := queryScheme(svc, scheme, s, d, g); err != nil {
+		if err := run(s, d); err != nil {
 			b.Fatal(err)
-		}
-		if end != nil {
-			end()
 		}
 	}
 }
@@ -461,7 +467,10 @@ func BenchmarkQueryInProcess(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			benchQueries(b, local, scheme, g, nil)
+			benchQueries(b, func(s, d graph.NodeID) error {
+				_, err := queryScheme(context.Background(), local, scheme, s, d, g)
+				return err
+			}, g)
 		})
 	}
 }
@@ -474,11 +483,10 @@ func BenchmarkQueryLoopback(b *testing.B) {
 		b.Run(scheme, func(b *testing.B) {
 			_, addr := startServer(b, strongSchemes...)
 			c := dialDB(b, addr, scheme)
-			benchQueries(b, c, scheme, g, func() {
-				if _, err := c.EndQuery(); err != nil {
-					b.Fatal(err)
-				}
-			})
+			benchQueries(b, func(s, d graph.NodeID) error {
+				_, _, err := remoteQuery(c, scheme, s, d, g)
+				return err
+			}, g)
 		})
 	}
 }

@@ -2,56 +2,119 @@ package server
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/wire"
 )
 
 // session is one client connection: a Hello/Welcome handshake binding it to
-// a hosted database, then a stream of query sessions. The trace recorder
-// writes the same canonical format as lbs.CanonicalTrace, so the
-// server-side view compares directly against the public plan and against
-// the client's own transcript.
+// a hosted database, then any number of concurrent query sessions
+// multiplexed by the query ID every frame carries. The connection reader
+// routes query frames to per-query goroutines and responses funnel back
+// through a mutex-guarded writer, so a slow query never blocks an unrelated
+// one on the same connection.
+//
+// Every query runs under its own context, derived from the connection's
+// context, itself derived from the daemon's base context: a client CANCEL
+// aborts one query, a dropped connection aborts that connection's queries,
+// and daemon shutdown aborts everything — in each case freeing any worker
+// the query's PIR reads are queued on.
+//
+// The trace recorder writes the same canonical format as
+// lbs.CanonicalTrace, so the server-side view compares directly against the
+// public plan and against the client's own transcript. A query cancelled at
+// a round boundary records a trace that is byte-identical to the first k
+// rounds of a full query — a prefix, never a deviation (Theorem 1).
 type session struct {
 	s    *Server
 	conn net.Conn
 	br   *bufio.Reader
-	bw   *bufio.Writer
 
-	db      *hosted
-	inQuery bool
+	wmu sync.Mutex // serializes response frames from query goroutines
+	bw  *bufio.Writer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	db *hosted
+
+	qmu     sync.Mutex
+	queries map[uint32]*query
+	wg      sync.WaitGroup
+}
+
+// query is one in-flight query session on a connection.
+type query struct {
+	id     uint32
+	ctx    context.Context
+	cancel context.CancelFunc
+	inbox  chan sframe
+
+	// reason is the client's Cancel reason + 1; 0 means no client cancel
+	// arrived (the abort, if any, was server-initiated). Written by the
+	// connection reader, read by the query goroutine after its context
+	// dies.
+	reason atomic.Uint32
+
+	// Owned by the query goroutine:
 	round   int
 	trace   strings.Builder
-	fetched uint64 // pages served in the current query
+	fetched uint64
+	ended   bool
+}
+
+// sframe is one routed client frame.
+type sframe struct {
+	t       wire.MsgType
+	payload []byte
 }
 
 func newSession(s *Server, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &session{
-		s:    s,
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
+		s:       s,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		ctx:     ctx,
+		cancel:  cancel,
+		queries: map[uint32]*query{},
 	}
 }
 
-func (ss *session) send(t wire.MsgType, payload []byte) error {
-	if err := wire.WriteFrame(ss.bw, t, payload); err != nil {
+// send writes one frame and flushes. Safe for concurrent use by the query
+// goroutines.
+func (ss *session) send(t wire.MsgType, qid uint32, payload []byte) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	if err := wire.WriteFrame(ss.bw, t, qid, payload); err != nil {
 		return err
 	}
 	return ss.bw.Flush()
 }
 
-func (ss *session) sendErr(format string, args ...any) error {
-	return ss.send(wire.MsgError, wire.ErrorMsg{Text: fmt.Sprintf(format, args...)}.Encode())
+func (ss *session) sendErr(qid uint32, format string, args ...any) error {
+	return ss.send(wire.MsgError, qid, wire.ErrorMsg{Text: fmt.Sprintf(format, args...)}.Encode())
 }
 
 // run drives the session to completion. Transport errors end it; protocol
-// errors are reported to the client and the session continues.
+// errors are reported to the offending query and the session continues.
 func (ss *session) run() {
+	defer func() {
+		// Abort whatever is still in flight (the client vanished or the
+		// daemon is shutting down) and wait for the query goroutines so
+		// their accounting settles before the connection counts as gone.
+		ss.cancel()
+		ss.wg.Wait()
+	}()
 	if err := ss.handshake(); err != nil {
 		if err != io.EOF {
 			ss.s.opts.Logf("privspd: %s: handshake: %v", ss.conn.RemoteAddr(), err)
@@ -59,37 +122,34 @@ func (ss *session) run() {
 		return
 	}
 	for {
-		t, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
+		t, qid, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
 		if err != nil {
-			if err != io.EOF {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				ss.s.opts.Logf("privspd: %s: read: %v", ss.conn.RemoteAddr(), err)
 			}
 			return
 		}
-		if err := ss.dispatch(t, payload); err != nil {
-			ss.s.opts.Logf("privspd: %s: %s: %v", ss.conn.RemoteAddr(), t, err)
-			return
-		}
+		ss.dispatch(t, qid, payload)
 	}
 }
 
 func (ss *session) handshake() error {
-	t, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
+	t, _, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
 	if err != nil {
 		return err
 	}
 	if t != wire.MsgHello {
-		ss.sendErr("expected Hello, got %s", t)
+		ss.sendErr(wire.ControlID, "expected Hello, got %s", t)
 		return fmt.Errorf("expected Hello, got %s", t)
 	}
 	hello, err := wire.DecodeHello(payload)
 	if err != nil {
-		ss.sendErr("%v", err)
+		ss.sendErr(wire.ControlID, "%v", err)
 		return err
 	}
 	if hello.Version != wire.ProtocolVersion {
 		err := fmt.Errorf("protocol version %d not supported (want %d)", hello.Version, wire.ProtocolVersion)
-		ss.sendErr("%v", err)
+		ss.sendErr(wire.ControlID, "%v", err)
 		return err
 	}
 	// An empty database name against a multi-database daemon yields an
@@ -102,7 +162,7 @@ func (ss *session) handshake() error {
 	} else {
 		db, err := ss.s.lookup(hello.Database)
 		if err != nil {
-			ss.sendErr("%v", err)
+			ss.sendErr(wire.ControlID, "%v", err)
 			return err
 		}
 		ss.db = db
@@ -113,94 +173,198 @@ func (ss *session) handshake() error {
 			Model:    db.srv.Model(),
 		}
 	}
-	return ss.send(wire.MsgWelcome, welcome.Encode())
+	return ss.send(wire.MsgWelcome, wire.ControlID, welcome.Encode())
 }
 
-func (ss *session) dispatch(t wire.MsgType, payload []byte) error {
+// dispatch handles connection-level frames inline and routes query frames
+// to their goroutine.
+func (ss *session) dispatch(t wire.MsgType, qid uint32, payload []byte) {
 	switch t {
+	case wire.MsgStatsReq:
+		ss.send(wire.MsgStats, qid, ss.s.Stats().Encode())
+		return
 	case wire.MsgBeginQuery:
-		// Fire-and-forget: never reply, even on error, or the stream
-		// desynchronizes. On an unbound session the begin is ignored and
-		// the next replied-to message reports the problem.
-		if ss.db == nil {
-			return nil
-		}
-		// An unfinished previous query is discarded, not counted: its
-		// trace never completed, so it is not a served query. The client
-		// relies on this after a failed query (AbandonQuery).
-		ss.inQuery = true
-		ss.round = 0
-		ss.trace.Reset()
-		ss.fetched = 0
-		return nil
+		ss.beginQuery(qid)
+		return
+	case wire.MsgCancel:
+		ss.cancelQuery(qid, payload)
+		return
+	}
+	ss.qmu.Lock()
+	q := ss.queries[qid]
+	ss.qmu.Unlock()
+	if q == nil {
+		ss.sendErr(qid, "no open query %d for %s", qid, t)
+		return
+	}
+	select {
+	case q.inbox <- sframe{t, payload}:
+	case <-q.ctx.Done():
+		// The query is going away; its pending frame is moot.
+	}
+}
 
+// beginQuery opens the query session the frame's ID names and starts its
+// goroutine. Fire-and-forget on success, like the client sends it;
+// rejections do get an Error frame — with per-query routing there is no
+// stream position left to desynchronize.
+func (ss *session) beginQuery(qid uint32) {
+	if ss.db == nil {
+		ss.sendErr(qid, "session is not bound to a database; reconnect naming one")
+		return
+	}
+	if qid == wire.ControlID {
+		ss.sendErr(qid, "query ID 0 is reserved for connection control")
+		return
+	}
+	ss.qmu.Lock()
+	if _, dup := ss.queries[qid]; dup {
+		ss.qmu.Unlock()
+		ss.sendErr(qid, "query %d already open", qid)
+		return
+	}
+	qctx, qcancel := context.WithCancel(ss.ctx)
+	q := &query{id: qid, ctx: qctx, cancel: qcancel, inbox: make(chan sframe, 16)}
+	ss.queries[qid] = q
+	ss.qmu.Unlock()
+	ss.db.inflight.Add(1)
+	ss.wg.Add(1)
+	go ss.runQuery(q)
+}
+
+// cancelQuery handles a client CANCEL: it cancels the query's context —
+// aborting any PIR read still queued on the worker pool — and leaves the
+// accounting to the query goroutine's finish path. Cancel of an unknown
+// (already finished) query is a no-op, since completion raced the cancel.
+func (ss *session) cancelQuery(qid uint32, payload []byte) {
+	m, err := wire.DecodeCancel(payload)
+	if err != nil {
+		m.Reason = wire.CancelAbandon
+	}
+	ss.qmu.Lock()
+	q := ss.queries[qid]
+	ss.qmu.Unlock()
+	if q == nil {
+		return
+	}
+	q.reason.Store(uint32(m.Reason) + 1)
+	q.cancel()
+}
+
+// runQuery is one query's serving loop: frames arrive in client send order
+// through the inbox, the context aborts it between frames or mid-read.
+func (ss *session) runQuery(q *query) {
+	defer ss.wg.Done()
+	defer ss.finishQuery(q)
+	for {
+		select {
+		case <-q.ctx.Done():
+			return
+		case f := <-q.inbox:
+			if terminal := ss.handleQueryFrame(q, f); terminal {
+				return
+			}
+		}
+	}
+}
+
+// handleQueryFrame serves one frame of an open query. It reports whether
+// the query reached a terminal state (completed or aborted mid-read).
+func (ss *session) handleQueryFrame(q *query, f sframe) bool {
+	switch f.t {
 	case wire.MsgHeaderReq:
-		if ss.db == nil {
-			return ss.sendErr("session is not bound to a database; reconnect naming one")
-		}
-		if !ss.inQuery {
-			return ss.sendErr("HeaderReq outside a query session")
-		}
-		h, err := ss.db.srv.HeaderBytes()
+		h, err := ss.db.srv.HeaderBytes(q.ctx)
 		if err != nil {
-			return ss.sendErr("%v", err)
+			ss.sendErr(q.id, "%v", err)
+			return false
 		}
-		ss.trace.WriteString("header\n")
-		return ss.send(wire.MsgHeader, wire.Header{Data: h}.Encode())
+		q.trace.WriteString("header\n")
+		ss.send(wire.MsgHeader, q.id, wire.Header{Data: h}.Encode())
+		return false
 
 	case wire.MsgNextRound:
-		// Fire-and-forget (one real round trip per round): outside a
-		// query it is ignored rather than answered, preserving sync.
-		if ss.inQuery {
-			ss.round++
-			fmt.Fprintf(&ss.trace, "round %d:\n", ss.round)
-		}
-		return nil
+		// Fire-and-forget (one real round trip per round).
+		q.round++
+		fmt.Fprintf(&q.trace, "round %d:\n", q.round)
+		return false
 
 	case wire.MsgFetch:
-		if ss.db == nil {
-			return ss.sendErr("session is not bound to a database; reconnect naming one")
-		}
-		if !ss.inQuery {
-			return ss.sendErr("Fetch outside a query session")
-		}
-		req, err := wire.DecodeFetch(payload)
+		req, err := wire.DecodeFetch(f.payload)
 		if err != nil {
-			return ss.sendErr("%v", err)
+			ss.sendErr(q.id, "%v", err)
+			return false
 		}
 		if len(req.Pages) == 0 {
-			return ss.sendErr("empty fetch")
+			ss.sendErr(q.id, "empty fetch")
+			return false
 		}
-		pages, err := ss.s.readBatch(ss.db, req.File, req.Pages)
+		pages, err := ss.s.readBatch(q.ctx, ss.db, req.File, req.Pages)
 		if err != nil {
-			return ss.sendErr("%v", err)
+			if q.ctx.Err() != nil {
+				// Cancelled while the read was queued or between its page
+				// reads: nothing of this fetch is recorded, so the trace
+				// stays a prefix of a full query's.
+				return true
+			}
+			ss.sendErr(q.id, "%v", err)
+			return false
 		}
 		// The adversarial view: file name and count only — the page
 		// indices model a PIR-encrypted request and are never recorded.
 		for range req.Pages {
-			fmt.Fprintf(&ss.trace, "  fetch %s\n", req.File)
+			fmt.Fprintf(&q.trace, "  fetch %s\n", req.File)
 		}
-		ss.fetched += uint64(len(req.Pages))
-		return ss.send(wire.MsgPages, wire.Pages{Pages: pages}.Encode())
+		q.fetched += uint64(len(req.Pages))
+		ss.send(wire.MsgPages, q.id, wire.Pages{Pages: pages}.Encode())
+		return false
 
 	case wire.MsgEndQuery:
-		if ss.db == nil {
-			return ss.sendErr("session is not bound to a database; reconnect naming one")
-		}
-		if !ss.inQuery {
-			return ss.sendErr("EndQuery outside a query session")
-		}
-		tr := ss.trace.String()
-		ss.inQuery = false
+		tr := q.trace.String()
+		q.ended = true
 		ss.db.addTrace(tr)
 		ss.db.queries.Add(1)
-		ss.db.pages.Add(ss.fetched)
-		return ss.send(wire.MsgQueryDone, wire.QueryDone{Trace: tr}.Encode())
-
-	case wire.MsgStatsReq:
-		return ss.send(wire.MsgStats, ss.s.Stats().Encode())
+		ss.db.pages.Add(q.fetched)
+		ss.send(wire.MsgQueryDone, q.id, wire.QueryDone{Trace: tr}.Encode())
+		return true
 
 	default:
-		return ss.sendErr("unexpected message %s", t)
+		ss.sendErr(q.id, "unexpected message %s", f.t)
+		return false
+	}
+}
+
+// finishQuery settles a query exactly once, whatever ended it. A completed
+// query was already recorded by EndQuery. A client CANCEL records the
+// partial trace — it is what the adversary saw, and it is always a prefix
+// of the full-query trace — and moves the matching counter; CancelAbandon
+// (a query that broke client-side) is discarded unrecorded, like a dropped
+// connection. A server-initiated abort (shutdown) tells the client with a
+// best-effort Error frame instead of leaving it waiting.
+func (ss *session) finishQuery(q *query) {
+	q.cancel()
+	ss.qmu.Lock()
+	delete(ss.queries, q.id)
+	ss.qmu.Unlock()
+	ss.db.inflight.Add(-1)
+	if q.ended {
+		return
+	}
+	switch q.reason.Load() {
+	case uint32(wire.CancelContext) + 1:
+		ss.db.addTrace(q.trace.String())
+		ss.db.cancelled.Add(1)
+	case uint32(wire.CancelDeadline) + 1:
+		ss.db.addTrace(q.trace.String())
+		ss.db.deadline.Add(1)
+	case uint32(wire.CancelAbandon) + 1:
+		// A query that failed client-side, not a deliberate abort: its
+		// trace never completed and is not recorded, and no counter moves.
+	default:
+		// Server-initiated: shutdown cancelled the in-flight query. The
+		// trace is discarded and the client learns promptly (best-effort —
+		// the connection may already be gone).
+		if ss.ctx.Err() != nil {
+			ss.sendErr(q.id, "query cancelled: server shutting down")
+		}
 	}
 }

@@ -41,7 +41,7 @@ func TestTheorem1UnderParallelism(t *testing.T) {
 					t.Fatal(err)
 				}
 				for qi, q := range queries {
-					res, err := queryScheme(local, scheme, q[0], q[1], g)
+					res, err := queryScheme(context.Background(), local, scheme, q[0], q[1], g)
 					if err != nil {
 						t.Fatalf("query %d: %v", qi, err)
 					}

@@ -5,38 +5,43 @@ import (
 	"testing"
 )
 
-// FuzzDecodeFrame throws arbitrary byte streams at the frame reader: it
-// must either return a well-formed (type, payload) pair or an error — never
-// panic, never hang, never allocate beyond the frame limit.
+// FuzzDecodeFrame throws arbitrary byte streams at the v3 frame reader: it
+// must either return a well-formed (type, query ID, payload) triple or an
+// error — never panic, never hang, never allocate beyond the frame limit.
 func FuzzDecodeFrame(f *testing.F) {
 	var seed bytes.Buffer
-	WriteFrame(&seed, MsgHello, Hello{Version: ProtocolVersion, Database: "CI"}.Encode())
+	WriteFrame(&seed, MsgHello, ControlID, Hello{Version: ProtocolVersion, Database: "CI"}.Encode())
 	f.Add(seed.Bytes())
 	var batch bytes.Buffer
-	WriteFrame(&batch, MsgFetch, Fetch{File: "Fd", Pages: []uint32{0, 7, 1 << 30}}.Encode())
+	WriteFrame(&batch, MsgFetch, 42, Fetch{File: "Fd", Pages: []uint32{0, 7, 1 << 30}}.Encode())
 	f.Add(batch.Bytes())
+	var cancel bytes.Buffer
+	WriteFrame(&cancel, MsgCancel, 0xFFFFFFFF, Cancel{Reason: CancelDeadline}.Encode())
+	f.Add(cancel.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 0, byte(MsgNextRound)})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile length header
-	f.Add([]byte{0, 0, 0, 10, byte(MsgHello), 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, byte(MsgNextRound), 0, 0, 0, 9})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile length header
+	f.Add([]byte{0, 0, 0, 0, byte(MsgHello), 1, 2, 3})                  // v2-style 5-byte header, truncated
+	f.Add([]byte{0, 0, 0, 10, byte(MsgHello), 0, 0, 0, 1, 1, 2, 3})     // short payload
 
 	const maxFrame = 1 << 16
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, payload, err := ReadFrame(bytes.NewReader(data), maxFrame)
+		typ, qid, payload, err := ReadFrame(bytes.NewReader(data), maxFrame)
 		if err != nil {
 			return
 		}
 		if len(payload) > maxFrame {
 			t.Fatalf("payload of %d bytes exceeds the %d limit", len(payload), maxFrame)
 		}
-		// A successfully read frame must survive a write/read round trip.
+		// A successfully read frame must survive a write/read round trip,
+		// query ID included.
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, typ, payload); err != nil {
+		if err := WriteFrame(&buf, typ, qid, payload); err != nil {
 			t.Fatalf("re-encoding a decoded frame: %v", err)
 		}
-		typ2, payload2, err := ReadFrame(&buf, maxFrame)
-		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
-			t.Fatalf("round trip diverged: %v, %s vs %s", err, typ2, typ)
+		typ2, qid2, payload2, err := ReadFrame(&buf, maxFrame)
+		if err != nil || typ2 != typ || qid2 != qid || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip diverged: %v, %s/%d vs %s/%d", err, typ2, qid2, typ, qid)
 		}
 	})
 }
@@ -67,6 +72,29 @@ func FuzzDecodeBatchRequest(f *testing.F) {
 		m2, err := DecodeFetch(re)
 		if err != nil || m2.File != m.File || len(m2.Pages) != len(m.Pages) {
 			t.Fatalf("round trip diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeCancel fuzzes the Cancel payload decoder — the new v3 message a
+// hostile client sends to abort queries. Accepted payloads must be
+// canonical and carry exactly one reason byte.
+func FuzzDecodeCancel(f *testing.F) {
+	f.Add(Cancel{Reason: CancelAbandon}.Encode())
+	f.Add(Cancel{Reason: CancelContext}.Encode())
+	f.Add(Cancel{Reason: CancelDeadline}.Encode())
+	f.Add([]byte{0xFF})
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeCancel(data)
+		if err != nil {
+			return
+		}
+		re := m.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, re)
 		}
 	})
 }

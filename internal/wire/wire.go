@@ -1,10 +1,17 @@
 // Package wire defines the length-prefixed binary protocol between a remote
 // client and the networked LBS daemon (internal/server). A frame is
 //
-//	uint32 payload length (big endian) | uint8 message type | payload
+//	uint32 payload length (big endian) | uint8 message type | uint32 query ID | payload
 //
 // and payloads reuse the pagefile codec (fixed-width big-endian integers,
 // IEEE float bits, uint16-length-prefixed strings).
+//
+// Since version 3 every frame carries a query ID, so one TCP connection
+// multiplexes any number of concurrent query sessions: the client allocates
+// IDs, the server keys per-query state (context, trace, round counter) by
+// them, and responses are routed back by ID rather than by stream position.
+// ID 0 is reserved for connection-level traffic (Hello/Welcome, statistics,
+// connection errors).
 //
 // The protocol mirrors the §3.1 query structure one-to-one, so the server
 // observes exactly what the paper's adversary observes: a session handshake
@@ -13,7 +20,11 @@
 // requests that name a file and a page count. Page indices ride inside the
 // Fetch payload standing in for the PIR-encrypted request; the server's
 // trace recorder never looks at them, only at the file name and count —
-// that is the complete adversarial view (Theorem 1).
+// that is the complete adversarial view (Theorem 1). A Cancel frame lets
+// the client abandon an in-flight query; because clients only volunteer
+// cancellation at round boundaries, the server-recorded trace of a
+// cancelled query is a prefix of the one full-query trace, which leaks
+// nothing beyond the (client-timed, data-independent) abort point.
 package wire
 
 import (
@@ -30,7 +41,10 @@ import (
 
 // ProtocolVersion is bumped on any incompatible frame or payload change.
 // Version 2 added the worker-pool gauges to the per-database stats.
-const ProtocolVersion = 2
+// Version 3 put a query ID in every frame header (multiplexed queries),
+// added the Cancel message, and extended the per-database stats with the
+// in-flight gauge and the cancelled / deadline-exceeded counters.
+const ProtocolVersion = 3
 
 // DefaultMaxFrame bounds a single frame's payload; it must accommodate the
 // largest header file and the largest batched page fetch.
@@ -39,12 +53,14 @@ const DefaultMaxFrame = 64 << 20
 // MsgType discriminates frames.
 type MsgType uint8
 
-// The protocol messages. C→S is client to server, S→C the reverse.
+// The protocol messages. C→S is client to server, S→C the reverse. All
+// query messages are addressed by the query ID in the frame header; Hello,
+// Welcome, StatsReq and Stats ride on ControlID.
 const (
 	MsgHello      MsgType = iota + 1 // C→S: version + database name
 	MsgWelcome                       // S→C: scheme, file table, cost model
 	MsgError                         // S→C: request failed; session stays up
-	MsgBeginQuery                    // C→S: start a fresh query session
+	MsgBeginQuery                    // C→S: open the query session of this frame's ID (no reply)
 	MsgHeaderReq                     // C→S: download the public header
 	MsgHeader                        // S→C: header bytes
 	MsgNextRound                     // C→S: next protocol round begins (no reply)
@@ -54,6 +70,7 @@ const (
 	MsgQueryDone                     // S→C: server-side observed trace
 	MsgStatsReq                      // C→S: server statistics
 	MsgStats                         // S→C: the statistics
+	MsgCancel                        // C→S: abandon this frame's query (no reply)
 )
 
 // String names a message type for diagnostics.
@@ -85,19 +102,27 @@ func (t MsgType) String() string {
 		return "StatsReq"
 	case MsgStats:
 		return "Stats"
+	case MsgCancel:
+		return "Cancel"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
 
-// WriteFrame emits one frame.
-func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+// ControlID is the query ID of connection-level frames: the handshake,
+// statistics, and errors that concern the connection rather than one query.
+const ControlID uint32 = 0
+
+// WriteFrame emits one frame addressed to the given query ID (ControlID for
+// connection-level traffic).
+func WriteFrame(w io.Writer, t MsgType, queryID uint32, payload []byte) error {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return fmt.Errorf("wire: payload of %d bytes does not fit a frame", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [9]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:9], queryID)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -112,20 +137,21 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 // ReadFrame reads one frame, rejecting payloads beyond maxFrame bytes. The
 // length is compared in 64 bits so a hostile header cannot overflow int on
 // 32-bit platforms.
-func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
-	var hdr [5]byte
+func ReadFrame(r io.Reader, maxFrame int) (MsgType, uint32, []byte, error) {
+	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if uint64(n) > uint64(maxFrame) {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
+		return 0, 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
+	qid := binary.BigEndian.Uint32(hdr[5:9])
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+		return 0, 0, nil, fmt.Errorf("wire: short frame: %w", err)
 	}
-	return MsgType(hdr[4]), payload, nil
+	return MsgType(hdr[4]), qid, payload, nil
 }
 
 // MaxFetchBatch is the largest page batch one Fetch frame carries (its
@@ -371,12 +397,55 @@ func DecodeQueryDone(b []byte) (QueryDone, error) {
 	return m, decErr("QueryDone", d)
 }
 
+// Cancellation reasons carried by the Cancel message. They drive the
+// server's accounting only — the abort itself is identical for all three.
+const (
+	// CancelAbandon discards a query that failed client-side; the partial
+	// trace is not recorded and no counter moves (the query never ran to a
+	// deliberate abort, it broke).
+	CancelAbandon uint8 = 0
+	// CancelContext is a client context cancelled mid-query; the partial
+	// trace is recorded (it is what the adversary saw) and the database's
+	// cancelled counter increments.
+	CancelContext uint8 = 1
+	// CancelDeadline is a client deadline expiring mid-query; the partial
+	// trace is recorded and the deadline-exceeded counter increments.
+	CancelDeadline uint8 = 2
+)
+
+// Cancel abandons the in-flight query its frame is addressed to. The server
+// sends no reply: it cancels the query's context — aborting any PIR read
+// still waiting for a worker-pool slot — accounts the abort per Reason, and
+// discards the per-query state. Fire-and-forget, like BeginQuery.
+type Cancel struct {
+	Reason uint8
+}
+
+// Encode serializes the message payload.
+func (m Cancel) Encode() []byte {
+	e := pagefile.NewEnc(1)
+	e.U8(m.Reason)
+	return e.Bytes()
+}
+
+// DecodeCancel reverses Cancel.Encode.
+func DecodeCancel(b []byte) (Cancel, error) {
+	d := pagefile.NewDec(b)
+	m := Cancel{Reason: d.U8()}
+	return m, decErr("Cancel", d)
+}
+
 // DBStats are the per-database serving counters and worker-pool gauges.
 type DBStats struct {
 	Name    string
 	Scheme  string
 	Queries uint64 // completed query sessions
 	Pages   uint64 // PIR pages served
+	// Cancellation accounting: queries executing right now (gauge), queries
+	// the client cancelled mid-flight, and queries whose deadline expired.
+	InFlight  uint32
+	Cancelled uint64
+	Deadline  uint64
 	// Worker-pool gauges: pool size, reads executing now, reads waiting
 	// for a slot. Every database has its own pool, so these expose
 	// per-database saturation.
@@ -403,6 +472,9 @@ func (m ServerStats) Encode() []byte {
 		putString(e, db.Scheme)
 		e.U64(db.Queries)
 		e.U64(db.Pages)
+		e.U32(db.InFlight)
+		e.U64(db.Cancelled)
+		e.U64(db.Deadline)
 		e.U32(db.Workers)
 		e.U32(db.BusyWorkers)
 		e.U32(db.QueuedReads)
@@ -421,6 +493,9 @@ func DecodeServerStats(b []byte) (ServerStats, error) {
 			Scheme:      getString(d),
 			Queries:     d.U64(),
 			Pages:       d.U64(),
+			InFlight:    d.U32(),
+			Cancelled:   d.U64(),
+			Deadline:    d.U64(),
 			Workers:     d.U32(),
 			BusyWorkers: d.U32(),
 			QueuedReads: d.U32(),

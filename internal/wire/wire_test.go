@@ -14,17 +14,20 @@ func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 100000)}
 	for i, p := range payloads {
-		if err := WriteFrame(&buf, MsgFetch, p); err != nil {
+		if err := WriteFrame(&buf, MsgFetch, uint32(i*7), p); err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
 	}
 	for i, p := range payloads {
-		typ, got, err := ReadFrame(&buf, DefaultMaxFrame)
+		typ, qid, got, err := ReadFrame(&buf, DefaultMaxFrame)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
 		if typ != MsgFetch {
 			t.Errorf("frame %d: type %s", i, typ)
+		}
+		if qid != uint32(i*7) {
+			t.Errorf("frame %d: query ID %d, want %d", i, qid, i*7)
 		}
 		if !bytes.Equal(got, p) {
 			t.Errorf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
@@ -34,10 +37,10 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestReadFrameRejectsOversize(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, MsgPages, make([]byte, 1024)); err != nil {
+	if err := WriteFrame(&buf, MsgPages, 1, make([]byte, 1024)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ReadFrame(&buf, 512); err == nil {
+	if _, _, _, err := ReadFrame(&buf, 512); err == nil {
 		t.Error("oversized frame accepted")
 	}
 }
@@ -45,12 +48,33 @@ func TestReadFrameRejectsOversize(t *testing.T) {
 func TestReadFrameShortPayload(t *testing.T) {
 	// A frame header promising more bytes than arrive must error, not hang
 	// or return garbage.
-	r := bytes.NewReader([]byte{0, 0, 0, 10, byte(MsgHello), 1, 2, 3})
-	if _, _, err := ReadFrame(r, DefaultMaxFrame); err == nil {
+	r := bytes.NewReader([]byte{0, 0, 0, 10, byte(MsgHello), 0, 0, 0, 1, 1, 2, 3})
+	if _, _, _, err := ReadFrame(r, DefaultMaxFrame); err == nil {
 		t.Error("truncated frame accepted")
 	}
-	if _, _, err := ReadFrame(bytes.NewReader(nil), DefaultMaxFrame); err != io.EOF {
+	if _, _, _, err := ReadFrame(bytes.NewReader(nil), DefaultMaxFrame); err != io.EOF {
 		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	// A header shorter than the 9 fixed bytes (for instance a v2 peer's
+	// 5-byte header followed by nothing) must error cleanly too.
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0, byte(MsgHello)}), DefaultMaxFrame); err == nil {
+		t.Error("short v2-style header accepted")
+	}
+}
+
+func TestCancelRoundTrip(t *testing.T) {
+	for _, reason := range []uint8{CancelAbandon, CancelContext, CancelDeadline} {
+		m := Cancel{Reason: reason}
+		got, err := DecodeCancel(m.Encode())
+		if err != nil || got != m {
+			t.Errorf("reason %d: got %+v, %v", reason, got, err)
+		}
+	}
+	if _, err := DecodeCancel(nil); err == nil {
+		t.Error("empty Cancel accepted")
+	}
+	if _, err := DecodeCancel([]byte{1, 2}); err == nil {
+		t.Error("oversized Cancel accepted")
 	}
 }
 
@@ -140,7 +164,8 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		ActiveConns: 3,
 		TotalConns:  128,
 		Databases: []DBStats{
-			{Name: "CI", Scheme: "CI", Queries: 10, Pages: 170, Workers: 8, BusyWorkers: 3, QueuedReads: 1},
+			{Name: "CI", Scheme: "CI", Queries: 10, Pages: 170, InFlight: 2, Cancelled: 3, Deadline: 1,
+				Workers: 8, BusyWorkers: 3, QueuedReads: 1},
 			{Name: "HY", Scheme: "HY", Queries: 2, Pages: 44, Workers: 4},
 		},
 	}

@@ -1,6 +1,7 @@
 package privsp
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -64,11 +65,11 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			for qi, q := range queries {
-				mres, err := memSrv.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+				mres, err := memSrv.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]))
 				if err != nil {
 					t.Fatalf("query %d in-memory: %v", qi, err)
 				}
-				dres, err := diskSrv.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+				dres, err := diskSrv.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]))
 				if err != nil {
 					t.Fatalf("query %d disk-backed: %v", qi, err)
 				}
@@ -132,11 +133,12 @@ func TestDiskBackedRemoteServing(t *testing.T) {
 
 			var serverTrace string
 			for qi, q := range queries {
-				mres, err := memSrv.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+				mres, err := memSrv.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]))
 				if err != nil {
 					t.Fatalf("query %d in-memory: %v", qi, err)
 				}
-				rres, err := remote.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+				var tr string
+				rres, err := remote.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]), WithServerTrace(&tr))
 				if err != nil {
 					t.Fatalf("query %d remote/disk: %v", qi, err)
 				}
@@ -146,7 +148,6 @@ func TestDiskBackedRemoteServing(t *testing.T) {
 				if mres.Trace != rres.Trace {
 					t.Errorf("query %d: client trace differs", qi)
 				}
-				tr := remote.ServerTrace()
 				if tr == "" {
 					t.Fatalf("query %d: no server trace", qi)
 				}
@@ -192,7 +193,7 @@ func TestDiskBackedConcurrentQueries(t *testing.T) {
 	want := make([]float64, len(queries))
 	wantTrace := ""
 	for i, q := range queries {
-		res, err := memSrv.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+		res, err := memSrv.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func TestDiskBackedConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 6; i++ {
 				q := queries[(g+i)%len(queries)]
-				res, err := srv.ShortestPath(net.NodePoint(q[0]), net.NodePoint(q[1]))
+				res, err := srv.ShortestPath(context.Background(), net.NodePoint(q[0]), net.NodePoint(q[1]))
 				if err != nil {
 					t.Errorf("goroutine %d: %v", g, err)
 					return
@@ -251,11 +252,11 @@ func TestOpenOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wres, err := want.ShortestPath(net.NodePoint(0), net.NodePoint(9))
+	wres, err := want.ShortestPath(context.Background(), net.NodePoint(0), net.NodePoint(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := srv.ShortestPath(net.NodePoint(0), net.NodePoint(9))
+	res, err := srv.ShortestPath(context.Background(), net.NodePoint(0), net.NodePoint(9))
 	if err != nil {
 		t.Fatal(err)
 	}

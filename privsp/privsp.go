@@ -10,8 +10,17 @@
 //	net := privsp.Generate(privsp.Oldenburg, 0.1, 1)       // or LoadEdgeList
 //	db, _ := privsp.Build(net, privsp.Config{Scheme: privsp.CI})
 //	srv, _ := privsp.Serve(db)
-//	res, _ := srv.ShortestPath(privsp.Point{X: 3, Y: 4}, privsp.Point{X: 40, Y: 38})
+//	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+//	defer cancel()
+//	res, _ := srv.ShortestPath(ctx, privsp.Point{X: 3, Y: 4}, privsp.Point{X: 40, Y: 38})
 //	fmt.Println(res.Cost, res.Stats.Response())
+//
+// Every query takes a context: cancelling it (or letting its deadline
+// expire) aborts the query at the next PIR round boundary, returns ctx.Err()
+// to the caller, and — for remote queries — tells the daemon to abandon the
+// server-side work. Because aborts happen only between rounds, the trace a
+// cancelled query leaves at the service is a prefix of the one full-query
+// trace: cancellation leaks nothing (Theorem 1 is preserved).
 //
 // Four strongly private schemes are provided — CI (small database, more PIR
 // page fetches), PI (one-page-fast queries, huge index), HY (tunable hybrid)
@@ -20,9 +29,10 @@
 package privsp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/client"
 	"repro/internal/costmodel"
@@ -40,6 +50,7 @@ import (
 	"repro/internal/scheme/lm"
 	"repro/internal/scheme/obf"
 	"repro/internal/scheme/pi"
+	"repro/internal/wire"
 )
 
 // Point is a Euclidean location on the road network.
@@ -413,25 +424,93 @@ type Result = base.Result
 // Stats carries the response-time components of Table 3.
 type Stats = lbs.Stats
 
+// QueryOption tunes one ShortestPath call.
+type QueryOption func(*queryOptions)
+
+type queryOptions struct {
+	stats       *Stats
+	trace       *string
+	serverTrace *string
+}
+
+// WithStats captures the query's simulated Table 3 cost components into
+// dst when the query succeeds.
+func WithStats(dst *Stats) QueryOption {
+	return func(o *queryOptions) { o.stats = dst }
+}
+
+// WithTrace captures the client-side access transcript — the view the
+// client believes the service observed — into dst when the query succeeds.
+func WithTrace(dst *string) QueryOption {
+	return func(o *queryOptions) { o.trace = dst }
+}
+
+// WithServerTrace captures the service-observed access trace — the actual
+// adversarial view — into dst when the query succeeds. For remote queries
+// this is the trace the daemon recorded; for in-process queries it equals
+// the client transcript (the deployments share the protocol code). Theorem
+// 1 holds exactly when this is identical across all queries.
+func WithServerTrace(dst *string) QueryOption {
+	return func(o *queryOptions) { o.serverTrace = dst }
+}
+
+func applyOptions(opts []QueryOption) queryOptions {
+	var o queryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// deliver fills the caller's option destinations from a completed query.
+func (o queryOptions) deliver(res *Result, serverTrace string) {
+	if o.stats != nil {
+		*o.stats = res.Stats
+	}
+	if o.trace != nil {
+		*o.trace = res.Trace
+	}
+	if o.serverTrace != nil {
+		*o.serverTrace = serverTrace
+	}
+}
+
 // ShortestPath runs one private query from s to t (arbitrary coordinates;
-// they are snapped to the nearest node of their host regions).
-func (s *Server) ShortestPath(src, dst Point) (*Result, error) {
+// they are snapped to the nearest node of their host regions). ctx bounds
+// the query: cancellation or an expired deadline aborts it at the next PIR
+// round boundary and returns ctx.Err(); a PIR read still queued on the
+// worker pool is abandoned, freeing the worker.
+func (s *Server) ShortestPath(ctx context.Context, src, dst Point, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := applyOptions(opts)
+	var (
+		res *Result
+		err error
+	)
 	switch s.cfg.Scheme {
 	case CI:
-		return ci.Query(s.lbsSrv, src, dst)
+		res, err = ci.Query(ctx, s.lbsSrv, src, dst)
 	case PI, PIStar:
-		return pi.Query(s.lbsSrv, src, dst)
+		res, err = pi.Query(ctx, s.lbsSrv, src, dst)
 	case HY:
-		return hy.Query(s.lbsSrv, src, dst)
+		res, err = hy.Query(ctx, s.lbsSrv, src, dst)
 	case LM:
-		return lm.Query(s.lbsSrv, src, dst)
+		res, err = lm.Query(ctx, s.lbsSrv, src, dst)
 	case AF:
-		return af.Query(s.lbsSrv, src, dst)
+		res, err = af.Query(ctx, s.lbsSrv, src, dst)
 	case OBF:
-		return s.obfSrv.Query(src, dst)
+		res, err = s.obfSrv.Query(ctx, src, dst)
 	default:
 		return nil, fmt.Errorf("privsp: unknown scheme %q", s.cfg.Scheme)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// In-process, the service's view is the client transcript itself.
+	o.deliver(res, res.Trace)
+	return res, nil
 }
 
 // CostModel returns the Table 2 parameters in force for documentation and
@@ -440,9 +519,12 @@ func CostModel() costmodel.Params { return costmodel.Default() }
 
 // PathService is the query surface shared by the in-process Server and the
 // remote client returned by Dial: the same scheme protocol code runs behind
-// both.
+// both. The context governs the whole query (deadline and cancellation,
+// honored at PIR round boundaries); options capture per-query extras —
+// stats, the client transcript, the service-observed trace — without any
+// per-connection state, so one service value serves concurrent queries.
 type PathService interface {
-	ShortestPath(src, dst Point) (*Result, error)
+	ShortestPath(ctx context.Context, src, dst Point, opts ...QueryOption) (*Result, error)
 }
 
 var (
@@ -455,26 +537,45 @@ var (
 // protocol runs over the wire, and the daemon observes only the public
 // plan's access pattern.
 //
-// One RemoteServer runs one query at a time; open one per goroutine for
-// concurrent querying.
+// One RemoteServer multiplexes any number of concurrent queries over its
+// single TCP connection — every wire frame carries a query ID — so calling
+// ShortestPath from many goroutines is safe and the daemon executes their
+// batched PIR reads in parallel on its worker pools.
 type RemoteServer struct {
 	c      *client.Client
 	scheme Scheme
-
-	mu        sync.Mutex
-	lastTrace string
 }
 
-// Dial connects to a privspd daemon serving a single database.
+// Dial connects to a privspd daemon serving a single database, bounded by
+// the default connect timeout: an unresponsive address fails the dial
+// rather than blocking forever.
 func Dial(addr string) (*RemoteServer, error) { return DialDatabase(addr, "") }
 
-// DialDatabase connects to a privspd daemon and selects a hosted database
-// by name (daemons may host several; empty selects the sole one). Dialing a
-// multi-database daemon without a name yields an unbound, stats-only
-// connection: Stats works, ShortestPath reports that a database must be
-// named.
+// DialContext connects to a privspd daemon serving a single database. ctx
+// governs the TCP connect and the protocol handshake; without a deadline of
+// its own, a default 10 s budget applies.
+func DialContext(ctx context.Context, addr string) (*RemoteServer, error) {
+	return DialDatabaseContext(ctx, addr, "")
+}
+
+// DialDatabase connects with the default connect timeout and selects a
+// hosted database by name; see DialDatabaseContext.
 func DialDatabase(addr, database string) (*RemoteServer, error) {
-	c, err := client.Dial(addr, client.Options{Database: database})
+	return DialDatabaseContext(context.Background(), addr, database)
+}
+
+// DialDatabaseContext connects to a privspd daemon and selects a hosted
+// database by name (daemons may host several; empty selects the sole one).
+// Dialing a multi-database daemon without a name yields an unbound,
+// stats-only connection: Stats works, ShortestPath reports that a database
+// must be named. ctx bounds the connect and handshake; without a deadline,
+// the default 10 s budget applies, so an address that accepts TCP but never
+// answers the handshake still fails promptly.
+func DialDatabaseContext(ctx context.Context, addr, database string) (*RemoteServer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := client.DialContext(ctx, addr, client.Options{Database: database})
 	if err != nil {
 		return nil, err
 	}
@@ -495,57 +596,73 @@ func (r *RemoteServer) Scheme() Scheme { return r.scheme }
 // Database returns the name of the connected database.
 func (r *RemoteServer) Database() string { return r.c.Database() }
 
-// ShortestPath runs one private query over the wire. The Result's Stats and
-// Trace are the client-side view (identical to the in-process deployment);
-// ServerTrace exposes what the daemon actually observed.
-func (r *RemoteServer) ShortestPath(src, dst Point) (*Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// ShortestPath runs one private query over the wire, multiplexed on the
+// shared connection by a fresh query ID. The Result's Stats and Trace are
+// the client-side view (identical to the in-process deployment); the
+// WithServerTrace option captures what the daemon actually observed.
+//
+// Cancelling ctx aborts the query at the next PIR round boundary and ships
+// a CANCEL frame so the daemon abandons the server-side work — a read
+// queued on the worker pool is given up, freeing the worker. The daemon
+// records the cancelled query's partial trace (always a prefix of a full
+// trace) and counts it as cancelled or deadline-exceeded.
+func (r *RemoteServer) ShortestPath(ctx context.Context, src, dst Point, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := applyOptions(opts)
+	if r.scheme == "" {
+		return nil, fmt.Errorf("privsp: connection is not bound to a database; use DialDatabase")
+	}
+	qs := r.c.StartQuery()
 	var (
 		res *Result
 		err error
 	)
 	switch r.scheme {
 	case CI:
-		res, err = ci.Query(r.c, src, dst)
+		res, err = ci.Query(ctx, qs, src, dst)
 	case PI, PIStar:
-		res, err = pi.Query(r.c, src, dst)
+		res, err = pi.Query(ctx, qs, src, dst)
 	case HY:
-		res, err = hy.Query(r.c, src, dst)
+		res, err = hy.Query(ctx, qs, src, dst)
 	case LM:
-		res, err = lm.Query(r.c, src, dst)
+		res, err = lm.Query(ctx, qs, src, dst)
 	case AF:
-		res, err = af.Query(r.c, src, dst)
-	case "":
-		return nil, fmt.Errorf("privsp: connection is not bound to a database; use DialDatabase")
+		res, err = af.Query(ctx, qs, src, dst)
 	default:
-		return nil, fmt.Errorf("privsp: unknown scheme %q", r.scheme)
+		err = fmt.Errorf("privsp: unknown scheme %q", r.scheme)
 	}
 	if err != nil {
-		// A failed query never completed its session: abandon it so the
-		// daemon discards the partial trace instead of recording it, and
-		// the connection stays usable.
-		r.c.AbandonQuery()
+		// Settle the query session. A context abort is a deliberate
+		// cancellation the daemon records (the partial trace is what the
+		// adversary saw) and counts; any other failure abandons the query
+		// and the daemon discards it. The connection stays usable either
+		// way.
+		qs.Cancel(cancelReason(ctx, err))
 		return nil, err
 	}
 	// Complete the session; the returned trace is the daemon's adversarial
 	// view of this query.
-	trace, terr := r.c.EndQuery()
+	trace, terr := qs.End(ctx)
 	if terr != nil {
+		qs.Cancel(cancelReason(ctx, terr))
 		return nil, terr
 	}
-	r.lastTrace = trace
+	o.deliver(res, trace)
 	return res, nil
 }
 
-// ServerTrace returns the daemon-observed access trace of the most recent
-// query: the complete adversarial view (rounds and per-file fetch counts,
-// never page numbers). Theorem 1 holds exactly when this is identical
-// across all queries.
-func (r *RemoteServer) ServerTrace() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lastTrace
+// cancelReason classifies a failed query for the daemon's accounting.
+func cancelReason(ctx context.Context, err error) uint8 {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return wire.CancelDeadline
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		return wire.CancelContext
+	default:
+		return wire.CancelAbandon
+	}
 }
 
 // DatabaseStats are one hosted database's serving counters and worker-pool
@@ -555,6 +672,13 @@ type DatabaseStats struct {
 	Scheme      Scheme
 	Queries     uint64
 	PagesServed uint64
+	// InFlight gauges the queries open right now; Cancelled and
+	// DeadlineExceeded count the queries clients called off mid-flight
+	// (context cancelled vs deadline expired). Their partial traces are
+	// recorded — each is a prefix of the full-query trace.
+	InFlight         int
+	Cancelled        uint64
+	DeadlineExceeded uint64
 	// Workers is the database's PIR read pool size; BusyWorkers and
 	// QueuedReads gauge its saturation at snapshot time.
 	Workers     int
@@ -569,24 +693,27 @@ type ServiceStats struct {
 	Databases   []DatabaseStats
 }
 
-// Stats fetches the daemon's serving counters.
-func (r *RemoteServer) Stats() (ServiceStats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ws, err := r.c.ServerStats()
+// Stats fetches the daemon's serving counters. Safe to call while queries
+// are in flight on this connection — statistics travel outside any query
+// session.
+func (r *RemoteServer) Stats(ctx context.Context) (ServiceStats, error) {
+	ws, err := r.c.ServerStats(ctx)
 	if err != nil {
 		return ServiceStats{}, err
 	}
 	st := ServiceStats{ActiveConns: int(ws.ActiveConns), TotalConns: ws.TotalConns}
 	for _, db := range ws.Databases {
 		st.Databases = append(st.Databases, DatabaseStats{
-			Name:        db.Name,
-			Scheme:      Scheme(db.Scheme),
-			Queries:     db.Queries,
-			PagesServed: db.Pages,
-			Workers:     int(db.Workers),
-			BusyWorkers: int(db.BusyWorkers),
-			QueuedReads: int(db.QueuedReads),
+			Name:             db.Name,
+			Scheme:           Scheme(db.Scheme),
+			Queries:          db.Queries,
+			PagesServed:      db.Pages,
+			InFlight:         int(db.InFlight),
+			Cancelled:        db.Cancelled,
+			DeadlineExceeded: db.Deadline,
+			Workers:          int(db.Workers),
+			BusyWorkers:      int(db.BusyWorkers),
+			QueuedReads:      int(db.QueuedReads),
 		})
 	}
 	return st, nil

@@ -2,6 +2,7 @@ package privsp
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func TestAllSchemesEndToEnd(t *testing.T) {
 			for trial := 0; trial < 8; trial++ {
 				s := NodeID(rng.Intn(net.NumNodes()))
 				d := NodeID(rng.Intn(net.NumNodes()))
-				res, err := srv.ShortestPath(net.NodePoint(s), net.NodePoint(d))
+				res, err := srv.ShortestPath(context.Background(), net.NodePoint(s), net.NodePoint(d))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -61,7 +62,7 @@ func TestManualNetworkConstruction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := srv.ShortestPath(net.NodePoint(a), net.NodePoint(d))
+	res, err := srv.ShortestPath(context.Background(), net.NodePoint(a), net.NodePoint(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestExtensionConfigs(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		s := NodeID(rng.Intn(net.NumNodes()))
 		d := NodeID(rng.Intn(net.NumNodes()))
-		res, err := srv.ShortestPath(net.NodePoint(s), net.NodePoint(d))
+		res, err := srv.ShortestPath(context.Background(), net.NodePoint(s), net.NodePoint(d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func TestAllSchemesDirected(t *testing.T) {
 			for trial := 0; trial < 6; trial++ {
 				s := NodeID(rng.Intn(net.NumNodes()))
 				d := NodeID(rng.Intn(net.NumNodes()))
-				res, err := srv.ShortestPath(net.NodePoint(s), net.NodePoint(d))
+				res, err := srv.ShortestPath(context.Background(), net.NodePoint(s), net.NodePoint(d))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -220,7 +221,7 @@ func TestStatsExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := srv.ShortestPath(net.NodePoint(0), net.NodePoint(20))
+	res, err := srv.ShortestPath(context.Background(), net.NodePoint(0), net.NodePoint(20))
 	if err != nil {
 		t.Fatal(err)
 	}

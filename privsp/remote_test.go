@@ -2,8 +2,11 @@ package privsp
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -62,19 +65,20 @@ func TestRemoteDialEndToEnd(t *testing.T) {
 	var firstServerTrace string
 	for qi, q := range queries {
 		var costs []float64
+		var tr string
 		for _, name := range []string{"local", "remote"} {
-			res, err := services[name].ShortestPath(net0.NodePoint(q[0]), net0.NodePoint(q[1]))
+			res, err := services[name].ShortestPath(context.Background(),
+				net0.NodePoint(q[0]), net0.NodePoint(q[1]), WithServerTrace(&tr))
 			if err != nil {
 				t.Fatalf("query %d via %s: %v", qi, name, err)
 			}
 			costs = append(costs, res.Cost)
+			if tr == "" {
+				t.Fatalf("query %d via %s: no server trace", qi, name)
+			}
 		}
 		if math.Abs(costs[0]-costs[1]) > 1e-9 {
 			t.Errorf("query %d: local cost %v, remote %v", qi, costs[0], costs[1])
-		}
-		tr := remote.ServerTrace()
-		if tr == "" {
-			t.Fatalf("query %d: no server trace", qi)
 		}
 		if firstServerTrace == "" {
 			firstServerTrace = tr
@@ -83,7 +87,7 @@ func TestRemoteDialEndToEnd(t *testing.T) {
 		}
 	}
 
-	st, err := remote.Stats()
+	st, err := remote.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,6 +104,123 @@ func TestRemoteDialEndToEnd(t *testing.T) {
 	}
 	if st.Databases[0].BusyWorkers != 0 || st.Databases[0].QueuedReads != 0 {
 		t.Errorf("idle daemon gauges = %d busy, %d queued", st.Databases[0].BusyWorkers, st.Databases[0].QueuedReads)
+	}
+}
+
+// TestDialUnresponsiveAddress is the Dial-hangs-forever regression test: a
+// listener that completes the TCP handshake in the kernel but never answers
+// the protocol handshake must fail the dial when the context budget
+// expires — Dial and DialContext both carry a connect timeout now.
+func TestDialUnresponsiveAddress(t *testing.T) {
+	// Listen without ever accepting: the kernel backlog completes TCP
+	// connects, so the dial succeeds at the transport level and the client
+	// would block forever waiting for the Welcome.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = DialContext(ctx, ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial to an unresponsive address succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want a deadline error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial blocked for %v", elapsed)
+	}
+	// Cancellation (not just deadlines) aborts a dial too.
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); ccancel() }()
+	if _, err := DialContext(cctx, ln.Addr().String()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled dial: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShortestPathHonorsContext: the in-process server honors cancellation
+// too — a dead context fails the query with ctx.Err() before any round runs.
+func TestShortestPathHonorsContext(t *testing.T) {
+	net0 := Generate(Oldenburg, 0.05, 1)
+	for _, scheme := range []Scheme{CI, OBF} {
+		db, err := Build(net0, Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := srv.ShortestPath(ctx, net0.NodePoint(0), net0.NodePoint(5)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", scheme, err)
+		}
+		// An expired deadline reports DeadlineExceeded, not Canceled.
+		dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer dcancel()
+		if _, err := srv.ShortestPath(dctx, net0.NodePoint(0), net0.NodePoint(5)); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", scheme, err)
+		}
+	}
+}
+
+// TestConcurrentQueriesOneRemote drives one RemoteServer from many
+// goroutines: the per-query options replace the old per-connection trace
+// state, so nothing serializes the queries and every captured server trace
+// is the canonical one.
+func TestConcurrentQueriesOneRemote(t *testing.T) {
+	net0 := Generate(Oldenburg, 0.08, 1)
+	db, err := Build(net0, Config{Scheme: CI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startDaemon(t, "CI", db)
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	local, err := Serve(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.ShortestPath(context.Background(), net0.NodePoint(0), net0.NodePoint(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tr string
+			res, err := remote.ShortestPath(context.Background(),
+				net0.NodePoint(0), net0.NodePoint(9), WithServerTrace(&tr))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Cost != want.Cost {
+				errs <- fmt.Errorf("cost %v, want %v", res.Cost, want.Cost)
+			}
+			if tr != want.Trace {
+				errs <- fmt.Errorf("server trace deviates from the canonical one")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 
@@ -122,7 +243,7 @@ func TestDialErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Close()
-	if _, err := r.ShortestPath(Point{}, Point{}); err == nil {
+	if _, err := r.ShortestPath(context.Background(), Point{}, Point{}); err == nil {
 		t.Error("query on closed connection succeeded")
 	}
 }
