@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the oblivious-read benchmarks — the XOR scan kernels, the
+# single-scan multi-query XORPIR path, the single-read stores, and the
+# end-to-end worker-pool BatchRead — and distills the output into
+# machine-readable BENCH_5.json (pages/s, ns/op, B/op, allocs/op per
+# benchmark) so the performance trajectory is comparable PR over PR.
+#
+#   ./bench/run.sh                 # full run, writes BENCH_5.json
+#   BENCH_SMOKE=1 ./bench/run.sh   # one iteration each: bit-rot guard (CI)
+#   BENCH_TIME=3s ./bench/run.sh   # longer per-benchmark budget
+#   BENCH_OUT=out.json ./bench/run.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_5.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+benchtime=${BENCH_TIME:-1s}
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+	benchtime=1x
+fi
+
+go test ./internal/pir/ -run '^$' \
+	-bench 'BenchmarkXORAnswer|BenchmarkXORPIRBatchRead|BenchmarkXORPIRRead$|BenchmarkSqrtORAMRead' \
+	-benchmem -benchtime "$benchtime" | tee "$raw"
+
+go test . -run '^$' -bench 'BenchmarkBatchRead$' \
+	-benchmem -benchtime "$benchtime" | tee -a "$raw"
+
+go run ./bench/benchjson <"$raw" >"$out"
+echo "bench: wrote $out"

@@ -104,19 +104,11 @@ func (s seekStore) Read(page int) ([]byte, error) {
 	return s.Store.Read(page)
 }
 
+// ReadBatch delegates to the shared sequential helper, which implements
+// the BatchStore contract (ctx checked at read boundaries, never mid-read)
+// instead of hand-rolling the loop here.
 func (s seekStore) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
-	out := make([][]byte, len(pages))
-	for i, p := range pages {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		data, err := s.Read(p)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = data
-	}
-	return out, nil
+	return pir.ReadEach(ctx, s, pages)
 }
 
 func seekStores(seek time.Duration) lbs.StoreFactory {

@@ -18,6 +18,16 @@
 // under its scheme name; clients select one with privsp.DialDatabase (or
 // take the sole database when only one is served). SIGINT/SIGTERM trigger
 // a graceful shutdown that waits for in-flight sessions.
+//
+// -pprof ADDR (off by default) serves net/http/pprof on a SEPARATE listen
+// address, so the serving hot paths — the PIR scan kernels above all — can
+// be profiled in deployment:
+//
+//	privspd -listen :7465 -db ci.psdb -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//
+// Bind it to localhost (or other non-public interface): the profile
+// endpoints expose internals and must not face clients.
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // profile handlers on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +64,7 @@ func main() {
 	landmarks := flag.Int("landmarks", 0, "LM anchors")
 	regions := flag.Int("regions", 0, "AF regions")
 	workers := flag.Int("workers", 0, "max concurrent PIR page reads per database (0 = 2x GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
 	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown window (in-flight queries are cancelled immediately; sessions get this long to settle)")
 	flag.Parse()
@@ -122,6 +135,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// The pprof endpoint rides its own listener, never the serving
+		// address: profiles are an operator tool, not a client surface.
+		go func() {
+			log.Printf("privspd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("privspd: pprof: %v", err)
+			}
+		}()
+	}
 
 	if *statsEvery > 0 {
 		go logStats(ctx, srv, *statsEvery)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/wire"
 )
 
@@ -62,6 +63,7 @@ type Client struct {
 
 	wmu sync.Mutex // serializes frame writes and flushes
 	bw  *bufio.Writer
+	fw  *wire.FrameWriter // writes through bw; shares wmu
 
 	// Immutable after the handshake.
 	scheme   string
@@ -121,6 +123,7 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 		ctl:      make(chan frame, 8),
 		done:     make(chan struct{}),
 	}
+	c.fw = wire.NewFrameWriter(c.bw)
 	br := bufio.NewReaderSize(conn, 64<<10)
 	w, err := handshake(br, c.bw, opts)
 	if !stop() && err == nil {
@@ -269,7 +272,7 @@ func (c *Client) writeFrame(t wire.MsgType, qid uint32, payload []byte, flush bo
 	c.mu.Unlock()
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	err := wire.WriteFrame(c.bw, t, qid, payload)
+	err := c.fw.WriteFrame(t, qid, payload)
 	if err == nil && flush {
 		err = c.bw.Flush()
 	}
@@ -350,6 +353,12 @@ type Query struct {
 
 	begun bool // BeginQuery sent
 	done  bool // settled: no more frames in either direction
+
+	// Fetch-encoding scratch, reused across the query's rounds (a Query is
+	// single-goroutine by contract): a protocol run issuing dozens of
+	// fetch rounds encodes them all into one buffer.
+	fetchEnc   *pagefile.Enc
+	fetchPages []uint32
 }
 
 // StartQuery opens a fresh query session. The returned Query holds a
@@ -479,14 +488,19 @@ func (q *Query) ReadPages(ctx context.Context, file string, pages []int) ([][]by
 }
 
 func (q *Query) readChunk(ctx context.Context, file string, pages []int) ([][]byte, error) {
-	req := wire.Fetch{File: file, Pages: make([]uint32, len(pages))}
-	for i, p := range pages {
+	q.fetchPages = q.fetchPages[:0]
+	for _, p := range pages {
 		if p < 0 {
 			return nil, fmt.Errorf("client: negative page %d", p)
 		}
-		req.Pages[i] = uint32(p)
+		q.fetchPages = append(q.fetchPages, uint32(p))
 	}
-	payload, err := q.roundTrip(ctx, wire.MsgFetch, req.Encode(), wire.MsgPages)
+	if q.fetchEnc == nil {
+		q.fetchEnc = pagefile.NewEnc(4 + len(file) + 4*len(pages))
+	}
+	q.fetchEnc.Reset()
+	req := wire.Fetch{File: file, Pages: q.fetchPages}.EncodeTo(q.fetchEnc)
+	payload, err := q.roundTrip(ctx, wire.MsgFetch, req, wire.MsgPages)
 	if err != nil {
 		return nil, err
 	}

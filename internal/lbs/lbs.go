@@ -182,20 +182,34 @@ func ShardedORAMStores(shards int, seed int64) StoreFactory {
 
 // Server hosts one database behind a PIR interface. Batched page reads fan
 // out across a bounded worker pool private to this server, so concurrent
-// serving of distinct databases never contends on shared locks.
+// serving of distinct databases never contends on shared locks. Stores that
+// answer a whole batch in one scan (pir.SingleScan) are never split: the
+// pool parallelizes across files and callers, not within their batches.
 type Server struct {
 	db     *Database
 	model  costmodel.Params
-	stores map[string]pir.Store
-	// serial holds a per-store lock (a 1-slot channel, so waiting for it
-	// is cancellable) for stores that are NOT BatchStores: one stateful
-	// ORAM structure admits exactly one read at a time.
-	serial map[string]chan struct{}
+	stores map[string]*hostedStore
 
 	workers int
 	sem     chan struct{}
 	busy    atomic.Int32
 	queued  atomic.Int32
+}
+
+// hostedStore is one file's PIR store plus the serving capabilities probed
+// once at host time, so the per-read path does no interface assertions.
+type hostedStore struct {
+	store pir.Store
+	batch pir.BatchStore // nil when the store cannot batch
+	into  pir.BatchInto  // nil when the store cannot fill caller buffers
+	// whole marks single-scan stores (pir.SingleScan): their batches are
+	// answered by one ReadBatch call on one pool slot — splitting would
+	// multiply full-file scans.
+	whole bool
+	// serial is the per-store lock (a 1-slot channel, so waiting for it is
+	// cancellable) for stores that are NOT BatchStores: one stateful ORAM
+	// structure admits exactly one read at a time.
+	serial chan struct{}
 }
 
 // ServerOption tunes a Server at construction.
@@ -225,8 +239,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 	s := &Server{
 		db:      db,
 		model:   model,
-		stores:  map[string]pir.Store{},
-		serial:  map[string]chan struct{}{},
+		stores:  map[string]*hostedStore{},
 		workers: 1,
 	}
 	for _, opt := range opts {
@@ -242,10 +255,16 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		if err != nil {
 			return nil, fmt.Errorf("lbs: building PIR store for %s: %w", f.Name(), err)
 		}
-		s.stores[f.Name()] = st
-		if _, ok := st.(pir.BatchStore); !ok {
-			s.serial[f.Name()] = make(chan struct{}, 1)
+		hs := &hostedStore{store: st}
+		hs.batch, _ = st.(pir.BatchStore)
+		hs.into, _ = st.(pir.BatchInto)
+		if ss, ok := st.(pir.SingleScan); ok {
+			hs.whole = ss.SingleScanBatch()
 		}
+		if hs.batch == nil {
+			hs.serial = make(chan struct{}, 1)
+		}
+		s.stores[f.Name()] = hs
 	}
 	return s, nil
 }
@@ -261,11 +280,11 @@ func (s *Server) HeaderBytes(context.Context) ([]byte, error) { return s.db.Head
 
 // FileInfo returns the metadata of one hosted file.
 func (s *Server) FileInfo(name string) (FileInfo, error) {
-	st, ok := s.stores[name]
+	hs, ok := s.stores[name]
 	if !ok {
 		return FileInfo{}, fmt.Errorf("lbs: no such file %q", name)
 	}
-	return FileInfo{Name: name, NumPages: st.NumPages(), PageSize: st.PageSize()}, nil
+	return FileInfo{Name: name, NumPages: hs.store.NumPages(), PageSize: hs.store.PageSize()}, nil
 }
 
 // Files lists the hosted files in database order.
@@ -283,20 +302,22 @@ func (s *Server) NextRound(context.Context) error { return nil }
 
 // ReadPages retrieves pages through the PIR stores. Safe for concurrent use
 // by any number of connections: batches against a pir.BatchStore fan out
-// across the server's bounded worker pool, while stores without batch
-// support (the single-structure ORAMs) serialize on a per-store mutex.
-// Cancelling ctx aborts the batch at read boundaries — a read waiting for a
-// pool slot or for the per-store serial lock gives up immediately and the
-// worker is freed — but a page read that started always completes, so the
-// caller records fetches all-or-nothing.
+// across the server's bounded worker pool — except single-scan stores
+// (pir.SingleScan), whose whole batch rides ONE pool slot and one scan,
+// because splitting a single-scan batch multiplies full-file scans instead
+// of dividing work. Stores without batch support (the single-structure
+// ORAMs) serialize on a per-store mutex. Cancelling ctx aborts the batch at
+// read boundaries — a read waiting for a pool slot or for the per-store
+// serial lock gives up immediately and the worker is freed — but a page
+// read that started always completes, so the caller records fetches
+// all-or-nothing.
 func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]byte, error) {
-	st, ok := s.stores[file]
+	hs, ok := s.stores[file]
 	if !ok {
 		return nil, fmt.Errorf("lbs: no such file %q", file)
 	}
-	bs, ok := st.(pir.BatchStore)
-	if !ok {
-		lock := s.serial[file]
+	if hs.batch == nil {
+		lock := hs.serial
 		select {
 		case lock <- struct{}{}:
 		case <-ctx.Done():
@@ -308,7 +329,7 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			data, err := st.Read(p)
+			data, err := hs.store.Read(p)
 			if err != nil {
 				return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
 			}
@@ -321,12 +342,12 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 	if workers > len(pages) {
 		workers = len(pages)
 	}
-	if workers <= 1 {
+	if workers <= 1 || hs.whole {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.release()
-		out, err := bs.ReadBatch(ctx, pages)
+		out, err := hs.batch.ReadBatch(ctx, pages)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -343,32 +364,122 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 	// split never spawns more goroutines than workers, so a hostile
 	// maximum-size batch cannot balloon goroutine memory.
 	out := make([][]byte, len(pages))
+	err := s.fanOut(ctx, file, len(pages), workers, func(ctx context.Context, start, end int) error {
+		chunk, err := hs.batch.ReadBatch(ctx, pages[start:end])
+		if err == nil && len(chunk) != end-start {
+			err = fmt.Errorf("store returned %d pages, want %d", len(chunk), end-start)
+		}
+		if err != nil {
+			return err
+		}
+		copy(out[start:end], chunk)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadPagesInto is ReadPages writing page contents into caller-provided
+// buffers (each dst[i] at least PageSize bytes): the serving daemon rents
+// the buffers from a pool, so its steady-state page path allocates nothing.
+// Routing matches ReadPages exactly — single-scan batches keep one pool
+// slot, splittable ones fan out, serial stores take the per-store lock —
+// and stores without a native pir.BatchInto are bridged with a copy.
+func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, dst [][]byte) error {
+	hs, ok := s.stores[file]
+	if !ok {
+		return fmt.Errorf("lbs: no such file %q", file)
+	}
+	if len(dst) != len(pages) {
+		return fmt.Errorf("lbs: PIR fetch %s: %d buffers for %d pages", file, len(dst), len(pages))
+	}
+	if hs.batch == nil {
+		lock := hs.serial
+		select {
+		case lock <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-lock }()
+		for i, p := range pages {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			data, err := hs.store.Read(p)
+			if err != nil {
+				return fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
+			}
+			copy(dst[i][:hs.store.PageSize()], data)
+		}
+		return nil
+	}
+
+	workers := s.workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers <= 1 || hs.whole {
+		if err := s.acquire(ctx); err != nil {
+			return err
+		}
+		defer s.release()
+		if err := hs.readInto(ctx, pages, dst); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("lbs: PIR fetch %s: %w", file, err)
+		}
+		return nil
+	}
+	return s.fanOut(ctx, file, len(pages), workers, func(ctx context.Context, start, end int) error {
+		return hs.readInto(ctx, pages[start:end], dst[start:end])
+	})
+}
+
+// readInto fills dst through the store's native BatchInto when it has one,
+// bridging with ReadBatch plus a copy otherwise.
+func (hs *hostedStore) readInto(ctx context.Context, pages []int, dst [][]byte) error {
+	if hs.into != nil {
+		return hs.into.ReadBatchInto(ctx, pages, dst)
+	}
+	chunk, err := hs.batch.ReadBatch(ctx, pages)
+	if err != nil {
+		return err
+	}
+	if len(chunk) != len(pages) {
+		return fmt.Errorf("store returned %d pages, want %d", len(chunk), len(pages))
+	}
+	ps := hs.store.PageSize()
+	for i := range chunk {
+		copy(dst[i][:ps], chunk[i])
+	}
+	return nil
+}
+
+// fanOut splits [0,n) into up to `workers` contiguous chunks, runs each on
+// its own pool slot, and returns the first error (context errors win, so a
+// cancelled batch reports cancellation rather than a store's wrapped error).
+func (s *Server) fanOut(ctx context.Context, file string, n, workers int, run func(ctx context.Context, start, end int) error) error {
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
-	per := (len(pages) + workers - 1) / workers
-	for start := 0; start < len(pages); start += per {
+	per := (n + workers - 1) / workers
+	for start := 0; start < n; start += per {
 		end := start + per
-		if end > len(pages) {
-			end = len(pages)
+		if end > n {
+			end = n
 		}
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()
-			if err := s.acquire(ctx); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			defer s.release()
-			chunk, err := bs.ReadBatch(ctx, pages[start:end])
-			if err == nil && len(chunk) != end-start {
-				err = fmt.Errorf("store returned %d pages, want %d", len(chunk), end-start)
+			err := s.acquire(ctx)
+			if err == nil {
+				defer s.release()
+				err = run(ctx, start, end)
 			}
 			if err != nil {
 				errMu.Lock()
@@ -380,16 +491,11 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 					}
 				}
 				errMu.Unlock()
-				return
 			}
-			copy(out[start:end], chunk)
 		}(start, end)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return firstErr
 }
 
 // acquire takes one pool slot, or returns ctx.Err() if the context dies

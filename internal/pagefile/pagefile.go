@@ -89,6 +89,12 @@ type Enc struct{ buf []byte }
 // NewEnc returns an encoder with the given capacity hint.
 func NewEnc(capacity int) *Enc { return &Enc{buf: make([]byte, 0, capacity)} }
 
+// Reset clears the encoder for reuse, keeping its backing array — the
+// serving hot path encodes every batch response into one pooled encoder
+// instead of allocating per frame. Bytes returned by earlier Bytes calls
+// alias the array and are invalidated.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
 // Bytes returns the encoded buffer.
 func (e *Enc) Bytes() []byte { return e.buf }
 
@@ -167,6 +173,10 @@ type Dec struct {
 
 // NewDec returns a decoder over buf.
 func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Reset re-points the decoder at buf and clears its state, so one decoder
+// can be reused across frames without allocating.
+func (d *Dec) Reset(buf []byte) { d.buf, d.off, d.err = buf, 0, nil }
 
 // Err returns the first decode error, if any.
 func (d *Dec) Err() error { return d.err }

@@ -1,0 +1,183 @@
+package pir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// This file is the word-wide XOR kernel shared by the linear-scan PIR
+// stores and the ORAM re-encryption paths. A PIR answer touches the whole
+// file by construction (§2.2), so the server's scan throughput is the
+// system's throughput; everything here exists to make that scan run at
+// memory speed:
+//
+//   - wordArena flattens a page file into one contiguous []uint64, so a
+//     scan walks a single allocation in address order (no per-page pointer
+//     chase) and XORs eight bytes per operation instead of one.
+//   - answerAll answers k independent selector vectors in ONE pass over
+//     the arena — k accumulators per scan, the matrix-batching idea of
+//     Chor et al. — so a k-page round costs one file scan, not k.
+//   - xorBytes is the byte-slice face of the word-wide XOR, used by the
+//     sqrt-ORAM re-encryption path to fold plaintext into a materialized
+//     keystream (see SqrtORAM.encryptInto, which together with in-place
+//     slot reuse makes the per-read shelter rewrite allocation-free).
+
+// wordArena is a page file flattened into uint64 lanes: page i occupies
+// words [i*wpp, (i+1)*wpp). Pages whose byte size is not a multiple of 8
+// are zero-padded into their final word, which is XOR-neutral, so answers
+// over padded rows decode back to exact page bytes.
+type wordArena struct {
+	words    []uint64
+	wpp      int // words per page
+	numPages int
+	pageSize int
+}
+
+// newWordArena flattens the pages of src.
+func newWordArena(src pagefile.Reader) (*wordArena, error) {
+	n, ps := src.NumPages(), src.PageSize()
+	if n == 0 {
+		return nil, fmt.Errorf("pir: empty file")
+	}
+	wpp := (ps + 7) / 8
+	a := &wordArena{
+		words:    make([]uint64, n*wpp),
+		wpp:      wpp,
+		numPages: n,
+		pageSize: ps,
+	}
+	for i := 0; i < n; i++ {
+		p, err := src.Page(i)
+		if err != nil {
+			return nil, err
+		}
+		if len(p) > ps {
+			return nil, fmt.Errorf("pir: page %d is %d bytes, page size %d", i, len(p), ps)
+		}
+		packWords(a.row(i), p)
+	}
+	return a, nil
+}
+
+// row returns page i's word lane.
+func (a *wordArena) row(i int) []uint64 {
+	return a.words[i*a.wpp : (i+1)*a.wpp]
+}
+
+// writePage decodes page i's words back into dst[:pageSize].
+func (a *wordArena) writePage(i int, dst []byte) {
+	unpackWords(dst[:a.pageSize], a.row(i))
+}
+
+// packWords encodes little-endian bytes into words, zero-padding the tail.
+func packWords(dst []uint64, src []byte) {
+	i, w := 0, 0
+	for ; i+8 <= len(src); i, w = i+8, w+1 {
+		dst[w] = binary.LittleEndian.Uint64(src[i:])
+	}
+	if i < len(src) {
+		var tail [8]byte
+		copy(tail[:], src[i:])
+		dst[w] = binary.LittleEndian.Uint64(tail[:])
+		w++
+	}
+	for ; w < len(dst); w++ {
+		dst[w] = 0
+	}
+}
+
+// unpackWords decodes words back to little-endian bytes, dropping the pad.
+func unpackWords(dst []byte, src []uint64) {
+	i, w := 0, 0
+	for ; i+8 <= len(dst); i, w = i+8, w+1 {
+		binary.LittleEndian.PutUint64(dst[i:], src[w])
+	}
+	if i < len(dst) {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], src[w])
+		copy(dst[i:], tail[:len(dst)-i])
+	}
+}
+
+// xorWords folds src into acc lane-wise. Both slices must have equal
+// length; the explicit reslice lets the compiler elide bounds checks in
+// the loop.
+func xorWords(acc, src []uint64) {
+	if len(acc) != len(src) {
+		panic("pir: xorWords length mismatch")
+	}
+	src = src[:len(acc)]
+	for i := range acc {
+		acc[i] ^= src[i]
+	}
+}
+
+// xorBytes folds src into dst word-wide, handling the unaligned tail
+// byte-wise. It is the byte-slice face of the kernel, for paths (reply
+// combination, ORAM scratch) that work on raw page buffers.
+func xorBytes(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("pir: xorBytes length mismatch")
+	}
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// selected reports whether page p is set in the selector bit vector.
+func selected(sel []byte, p int) bool {
+	return sel[p>>3]&(1<<(p&7)) != 0
+}
+
+// answerOne XORs the pages selected by sel into acc (len wpp, caller
+// zeroed) in one pass over the arena.
+func (a *wordArena) answerOne(sel []byte, acc []uint64) {
+	for p := 0; p < a.numPages; p++ {
+		if selected(sel, p) {
+			xorWords(acc, a.row(p))
+		}
+	}
+}
+
+// answerAll answers k selector vectors in ONE pass over the arena: page p
+// is loaded once (cache-hot for every selector that wants it) and folded
+// into each accumulator whose bit is set. accs[j] must be len wpp and
+// zeroed by the caller. This is what makes a k-page batch cost one file
+// scan instead of k.
+func (a *wordArena) answerAll(sels [][]byte, accs [][]uint64) {
+	for p := 0; p < a.numPages; p++ {
+		byteIdx, bit := p>>3, byte(1)<<(p&7)
+		var row []uint64
+		for j, sel := range sels {
+			if sel[byteIdx]&bit != 0 {
+				if row == nil {
+					row = a.row(p)
+				}
+				xorWords(accs[j], row)
+			}
+		}
+	}
+}
+
+// xorAnswerBytes is the byte-at-a-time reference kernel over [][]byte
+// pages — the pre-arena implementation, kept as the correctness oracle for
+// the equivalence tests and the baseline BenchmarkXORAnswer compares the
+// word kernel against.
+func xorAnswerBytes(pages [][]byte, pageSize int, sel []byte) []byte {
+	out := make([]byte, pageSize)
+	for i, page := range pages {
+		if sel[i/8]&(1<<(i%8)) != 0 {
+			for j := range page {
+				out[j] ^= page[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package pir
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// oddShapes are the page-file geometries most likely to break a word-wide
+// kernel: page counts that are not a multiple of 8 (partial selector byte),
+// page sizes that are not a multiple of 8 (partial trailing word), and the
+// degenerate single-page file.
+var oddShapes = []struct{ n, ps int }{
+	{1, 1},
+	{1, 8},
+	{3, 5},
+	{13, 13},
+	{9, 8},
+	{8, 24},
+	{17, 100},
+	{64, 31},
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for size := 1; size <= 40; size++ {
+		src := make([]byte, size)
+		rng.Read(src)
+		words := make([]uint64, (size+7)/8)
+		packWords(words, src)
+		got := make([]byte, size)
+		unpackWords(got, words)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("size %d: roundtrip mismatch", size)
+		}
+	}
+}
+
+func TestXORBytesMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for size := 1; size <= 40; size++ {
+		a := make([]byte, size)
+		b := make([]byte, size)
+		rng.Read(a)
+		rng.Read(b)
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = a[i] ^ b[i]
+		}
+		xorBytes(a, b)
+		if !bytes.Equal(a, want) {
+			t.Fatalf("size %d: xorBytes mismatch", size)
+		}
+	}
+}
+
+// TestWordKernelMatchesByteKernel checks the word-wide arena kernels —
+// single-selector answerOne and multi-selector single-scan answerAll —
+// against the byte-at-a-time reference implementation, across odd shapes.
+func TestWordKernelMatchesByteKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range oddShapes {
+		pages := makePages(shape.n, shape.ps, int64(shape.n*1000+shape.ps))
+		arena, err := newWordArena(src(pages, shape.ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nbytes := (shape.n + 7) / 8
+		const k = 5
+		sels := make([][]byte, k)
+		for j := range sels {
+			sels[j] = make([]byte, nbytes)
+			rng.Read(sels[j])
+			if rem := shape.n % 8; rem != 0 {
+				sels[j][nbytes-1] &= byte(1<<rem) - 1
+			}
+		}
+
+		// answerOne, selector by selector.
+		for j, sel := range sels {
+			want := xorAnswerBytes(pages, shape.ps, sel)
+			acc := make([]uint64, arena.wpp)
+			arena.answerOne(sel, acc)
+			got := make([]byte, shape.ps)
+			unpackWords(got, acc)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%dx%d: answerOne selector %d mismatch", shape.n, shape.ps, j)
+			}
+		}
+
+		// answerAll: all selectors in one scan.
+		accs := make([][]uint64, k)
+		for j := range accs {
+			accs[j] = make([]uint64, arena.wpp)
+		}
+		arena.answerAll(sels, accs)
+		for j, sel := range sels {
+			want := xorAnswerBytes(pages, shape.ps, sel)
+			got := make([]byte, shape.ps)
+			unpackWords(got, accs[j])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%dx%d: answerAll selector %d mismatch", shape.n, shape.ps, j)
+			}
+		}
+	}
+}
+
+func TestWordArenaPageRoundTrip(t *testing.T) {
+	for _, shape := range oddShapes {
+		pages := makePages(shape.n, shape.ps, int64(shape.n+shape.ps))
+		arena, err := newWordArena(src(pages, shape.ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, shape.ps)
+		for i := range pages {
+			arena.writePage(i, buf)
+			if !bytes.Equal(buf, pages[i]) {
+				t.Fatalf("%dx%d: page %d corrupted by arena roundtrip", shape.n, shape.ps, i)
+			}
+		}
+	}
+}

@@ -93,17 +93,27 @@ func (k *KOPIR) Read(page int) ([]byte, error) {
 
 // readBit runs one QR-PIR round: rows = pages, columns = bit positions.
 func (k *KOPIR) readBit(row, col int) (bool, error) {
+	ys, err := k.sampleQuery(col)
+	if err != nil {
+		return false, err
+	}
+	z := k.serverAnswerRow(row, ys)
+	return !k.isQR(z), nil
+}
+
+// sampleQuery builds one bit-round query vector: t Jacobi-+1 elements with
+// a non-residue exactly at the wanted column.
+func (k *KOPIR) sampleQuery(col int) ([]*big.Int, error) {
 	t := k.pageSize * 8
 	ys := make([]*big.Int, t)
 	for c := 0; c < t; c++ {
 		y, err := k.sampleJacobiOne(c == col)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		ys[c] = y
 	}
-	z := k.serverAnswerRow(row, ys)
-	return !k.isQR(z), nil
+	return ys, nil
 }
 
 // serverAnswerRow is the server-side computation for one row. The real
@@ -159,11 +169,112 @@ func (k *KOPIR) isQR(y *big.Int) bool {
 	return big.Jacobi(yp, k.p) == 1 && big.Jacobi(yq, k.q) == 1
 }
 
-// ReadBatch implements BatchStore: bit queries touch only the immutable
-// page matrix and the public modulus, so batched reads are independent.
-func (k *KOPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
-	return readEach(ctx, k, pages)
+// serverAnswerRowBatch is the multi-query server computation for one row:
+// the row's bits are walked ONCE, and every set bit multiplies the
+// matching query element into each query's accumulator — the k-accumulator
+// single-scan structure of the batched protocol, applied at row
+// granularity. Each accumulator is finally randomized with its own w².
+func (k *KOPIR) serverAnswerRowBatch(row int, yss [][]*big.Int) []*big.Int {
+	zs := make([]*big.Int, len(yss))
+	for q := range zs {
+		zs[q] = big.NewInt(1)
+	}
+	pageData := k.pages[row]
+	t := k.pageSize * 8
+	for c := 0; c < t; c++ {
+		if c/8 >= len(pageData) || pageData[c/8]&(1<<(c%8)) == 0 {
+			continue
+		}
+		for q, ys := range yss {
+			zs[q].Mul(zs[q], ys[c])
+			zs[q].Mod(zs[q], k.n)
+		}
+	}
+	for q := range zs {
+		w, _ := rand.Int(rand.Reader, k.n)
+		w.Add(w, big.NewInt(2))
+		zs[q].Mul(zs[q], new(big.Int).Exp(w, big.NewInt(2), k.n))
+		zs[q].Mod(zs[q], k.n)
+	}
+	return zs
 }
+
+// ReadBatch implements BatchStore natively: the batch proceeds in
+// bit-synchronized rounds (all queries fetch bit b together), and within a
+// round the page matrix is walked once — queries targeting the same row
+// share a single pass over that row's bits, each folding the shared data
+// into its own accumulator. Every query still samples its own fresh
+// Jacobi-+1 vector per round, so the server's view of a batch is exactly k
+// independent queries. ctx is checked at bit-round boundaries (the read
+// boundaries of this store: one round is one indivisible server exchange).
+func (k *KOPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	out := make([][]byte, len(pages))
+	for i := range out {
+		out[i] = make([]byte, k.pageSize)
+	}
+	if err := k.ReadBatchInto(ctx, pages, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBatchInto implements BatchInto; see ReadBatch.
+func (k *KOPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) error {
+	if len(dst) != len(pages) {
+		return fmt.Errorf("pir: %d buffers for %d pages", len(dst), len(pages))
+	}
+	for _, p := range pages {
+		if p < 0 || p >= k.numPages {
+			return fmt.Errorf("pir: page %d of %d", p, k.numPages)
+		}
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	for i := range dst {
+		clear(dst[i][:k.pageSize])
+	}
+	// Group query positions by target row, preserving request order, so
+	// each distinct row is walked once per round however many queries want
+	// it.
+	rowOrder := make([]int, 0, len(pages))
+	rowQueries := make(map[int][]int, len(pages))
+	for i, p := range pages {
+		if _, seen := rowQueries[p]; !seen {
+			rowOrder = append(rowOrder, p)
+		}
+		rowQueries[p] = append(rowQueries[p], i)
+	}
+	t := k.pageSize * 8
+	yss := make([][]*big.Int, 0, len(pages))
+	for bit := 0; bit < t; bit++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, row := range rowOrder {
+			idxs := rowQueries[row]
+			yss = yss[:0]
+			for range idxs {
+				ys, err := k.sampleQuery(bit)
+				if err != nil {
+					return err
+				}
+				yss = append(yss, ys)
+			}
+			zs := k.serverAnswerRowBatch(row, yss)
+			for j, i := range idxs {
+				if !k.isQR(zs[j]) {
+					dst[i][bit/8] |= 1 << (bit % 8)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SingleScanBatch implements SingleScan: each bit round walks the matrix
+// rows once for the whole batch, so splitting a batch multiplies row scans.
+func (k *KOPIR) SingleScanBatch() bool { return true }
 
 // NumPages implements Store.
 func (k *KOPIR) NumPages() int { return k.numPages }

@@ -65,10 +65,34 @@ type BatchStore interface {
 	ReadBatch(ctx context.Context, pages []int) ([][]byte, error)
 }
 
-// readEach is the sequential ReadBatch shared by stores whose single reads
-// are already cheap or internally parallel. ctx is checked between page
-// reads (the read boundaries), never mid-read.
-func readEach(ctx context.Context, s Store, pages []int) ([][]byte, error) {
+// SingleScan is implemented by BatchStores whose ReadBatch answers every
+// requested page in ONE pass over the whole file — k accumulators riding a
+// single scan (XORPIR) or k query vectors sharing each row walk (KOPIR).
+// For such stores, splitting a batch across workers multiplies full-file
+// scans instead of dividing work: the serving layer must route an entire
+// same-file batch through one ReadBatch call and parallelize only across
+// files (or shards), never within a batch.
+type SingleScan interface {
+	// SingleScanBatch reports whether batches must be kept whole.
+	SingleScanBatch() bool
+}
+
+// BatchInto is implemented by stores that can write page contents into
+// caller-provided buffers — the allocation-free face of ReadBatch. dst must
+// hold len(pages) buffers of at least PageSize bytes each; on success each
+// dst[i] holds page pages[i]. The serving layer rents the buffers from a
+// pool, so a steady-state remote query allocates nothing on the page path.
+type BatchInto interface {
+	ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) error
+}
+
+// ReadEach is the sequential ReadBatch implementation shared by stores (and
+// store wrappers, like the benchmarks' seek-simulating decorator) whose
+// single reads are already cheap or internally parallel. It honors the
+// BatchStore contract: ctx is checked between page reads — the read
+// boundaries — never mid-read, so a cancelled batch stops promptly while
+// every page read that started runs to completion.
+func ReadEach(ctx context.Context, s Store, pages []int) ([][]byte, error) {
 	out := make([][]byte, len(pages))
 	for i, p := range pages {
 		if err := ctx.Err(); err != nil {
@@ -123,7 +147,28 @@ func (p *Plain) Read(page int) ([]byte, error) {
 
 // ReadBatch implements BatchStore.
 func (p *Plain) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
-	return readEach(ctx, p, pages)
+	return ReadEach(ctx, p, pages)
+}
+
+// ReadBatchInto implements BatchInto: page contents are copied into the
+// caller's buffers (the zero-copy aliasing of ReadBatch is what forces its
+// callers to allocate; here the caller owns — and recycles — the memory).
+// ctx is checked at the read boundaries, like ReadBatch.
+func (p *Plain) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) error {
+	if len(dst) != len(pages) {
+		return fmt.Errorf("pir: %d buffers for %d pages", len(dst), len(pages))
+	}
+	for i, pg := range pages {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		data, err := p.Read(pg)
+		if err != nil {
+			return err
+		}
+		copy(dst[i][:p.src.PageSize()], data)
+	}
+	return nil
 }
 
 // NumPages returns the page count.
@@ -134,7 +179,9 @@ func (p *Plain) PageSize() int { return p.src.PageSize() }
 
 // The concurrency contract, enforced at compile time: the stateless (or
 // internally locked) stores batch, the single-structure ORAMs are Store
-// only and get serialized by the serving layer.
+// only and get serialized by the serving layer. The linear-scan stores
+// additionally declare single-scan batching (whole batches, never split)
+// and the buffer-reusing read path.
 var (
 	_ BatchStore = (*Plain)(nil)
 	_ BatchStore = (*XORPIR)(nil)
@@ -142,4 +189,10 @@ var (
 	_ BatchStore = (*ShardedORAM)(nil)
 	_ Store      = (*SqrtORAM)(nil)
 	_ Store      = (*PyramidORAM)(nil)
+
+	_ SingleScan = (*XORPIR)(nil)
+	_ SingleScan = (*KOPIR)(nil)
+	_ BatchInto  = (*Plain)(nil)
+	_ BatchInto  = (*XORPIR)(nil)
+	_ BatchInto  = (*KOPIR)(nil)
 )

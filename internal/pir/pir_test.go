@@ -198,10 +198,11 @@ func TestXORPIRServerViewsDifferOnlyAtTarget(t *testing.T) {
 		if _, err := x.Read(target); err != nil {
 			t.Fatal(err)
 		}
+		selA, selB := x.LastQueries()
 		diffBits := 0
 		diffAt := -1
-		for i := range x.LastQueryA {
-			d := x.LastQueryA[i] ^ x.LastQueryB[i]
+		for i := range selA {
+			d := selA[i] ^ selB[i]
 			for b := 0; b < 8; b++ {
 				if d&(1<<b) != 0 {
 					diffBits++
@@ -230,8 +231,9 @@ func TestXORPIRSingleServerViewIsUniform(t *testing.T) {
 		if _, err := x.Read(13); err != nil {
 			t.Fatal(err)
 		}
+		selA, _ := x.LastQueries()
 		for b := 0; b < 64; b++ {
-			if x.LastQueryA[b/8]&(1<<(b%8)) != 0 {
+			if selA[b/8]&(1<<(b%8)) != 0 {
 				counts[b]++
 			}
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package pir
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// allocates, so the zero-allocation tests skip themselves.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 	mrand "math/rand"
 
@@ -46,6 +47,17 @@ type SqrtORAM struct {
 	log   *AccessLog
 	rng   io.Reader
 	prng  *mrand.Rand // deterministic shuffles for reproducible tests
+
+	// Re-encryption fast path (see kernel.go): the cipher and MAC states
+	// are built once and reused, zero is the shared all-zero page (whose
+	// CTR "encryption" is the raw keystream, letting dummy and shelter
+	// re-encryptions skip the plaintext XOR entirely), and macBuf backs
+	// the MAC sums. A SqrtORAM serializes all reads (it is a Store, not a
+	// BatchStore), so the shared states are never raced.
+	block  cipher.Block
+	mac    hash.Hash
+	macBuf []byte
+	zero   []byte
 }
 
 // AccessLog records every server-visible physical touch. Area is "main" or
@@ -83,6 +95,10 @@ func newSqrtORAMPages(pages [][]byte, pageSize int, seed int64) (*SqrtORAM, erro
 	if _, err := io.ReadFull(rand.Reader, key); err != nil {
 		return nil, err
 	}
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
 	o := &SqrtORAM{
 		numPages: n,
 		pageSize: pageSize,
@@ -90,6 +106,9 @@ func newSqrtORAMPages(pages [][]byte, pageSize int, seed int64) (*SqrtORAM, erro
 		log:      &AccessLog{},
 		rng:      rand.Reader,
 		prng:     mrand.New(mrand.NewSource(seed)),
+		block:    block,
+		mac:      hmac.New(sha256.New, key[16:]),
+		zero:     make([]byte, pageSize),
 	}
 	o.shelterN = isqrt(n)
 	if o.shelterN < 1 {
@@ -110,11 +129,9 @@ func (o *SqrtORAM) shuffle(plain [][]byte) error {
 	o.perm = o.prng.Perm(total)
 	o.serverMain = make([][]byte, total)
 	for logical := 0; logical < total; logical++ {
-		var content []byte
+		content := o.zero // dummy page
 		if logical < o.numPages {
 			content = plain[logical]
-		} else {
-			content = make([]byte, o.pageSize) // dummy page
 		}
 		ct, err := o.encrypt(uint64(logical), content)
 		if err != nil {
@@ -124,7 +141,7 @@ func (o *SqrtORAM) shuffle(plain [][]byte) error {
 	}
 	o.serverShelter = make([][]byte, o.shelterN)
 	for i := range o.serverShelter {
-		ct, err := o.encrypt(uint64(total+i), make([]byte, o.pageSize))
+		ct, err := o.encrypt(uint64(total+i), o.zero)
 		if err != nil {
 			return err
 		}
@@ -180,7 +197,10 @@ func (o *SqrtORAM) Read(page int) ([]byte, error) {
 	o.reads++
 	shelterEpochTag := o.epoch<<32 | uint64(o.reads)
 	for i := range o.serverShelter {
-		ct, err := o.encrypt(shelterEpochTag+uint64(i)<<16, make([]byte, o.pageSize))
+		// Re-encrypt in place: the slot's previous ciphertext buffer is
+		// exactly the size the fresh one needs, so the sqrt(N)-slot rewrite
+		// performed on every read allocates nothing.
+		ct, err := o.encryptInto(o.serverShelter[i][:0], shelterEpochTag+uint64(i)<<16, o.zero)
 		if err != nil {
 			return nil, err
 		}
@@ -228,19 +248,39 @@ func (o *SqrtORAM) ShelterSize() int { return o.shelterN }
 // tamper-detecting; the adversary is honest-but-curious, but integrity is
 // cheap and catches storage corruption).
 func (o *SqrtORAM) encrypt(tag uint64, content []byte) ([]byte, error) {
-	block, err := aes.NewCipher(o.key[:16])
-	if err != nil {
-		return nil, err
+	return o.encryptInto(nil, tag, content)
+}
+
+// encryptInto is the re-encryption fast path: it seals content into dst's
+// backing array (growing it only when too small), so the per-read shelter
+// rewrite — sqrt(N) slot re-encryptions on EVERY read — recycles the slot
+// buffers instead of allocating sqrt(N) pages per read. The keystream is
+// materialized by "encrypting" the shared zero page; content is then folded
+// in with the kernel's word-wide XOR, which the all-zero dummy and shelter
+// contents skip entirely.
+func (o *SqrtORAM) encryptInto(dst []byte, tag uint64, content []byte) ([]byte, error) {
+	if len(content) != o.pageSize {
+		return nil, fmt.Errorf("pir: encrypt %d bytes, page size %d", len(content), o.pageSize)
 	}
-	iv := make([]byte, aes.BlockSize)
-	binary.LittleEndian.PutUint64(iv, o.epoch)
+	need := o.pageSize + sha256.Size
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[:], o.epoch)
 	binary.LittleEndian.PutUint64(iv[8:], tag)
-	ct := make([]byte, len(content))
-	cipher.NewCTR(block, iv).XORKeyStream(ct, content)
-	mac := hmac.New(sha256.New, o.key[16:])
-	mac.Write(iv)
-	mac.Write(ct)
-	return append(ct, mac.Sum(nil)...), nil
+	body := dst[:o.pageSize]
+	cipher.NewCTR(o.block, iv[:]).XORKeyStream(body, o.zero)
+	if len(content) > 0 && &content[0] != &o.zero[0] {
+		xorBytes(body, content)
+	}
+	o.mac.Reset()
+	o.mac.Write(iv[:])
+	o.mac.Write(body)
+	o.macBuf = o.mac.Sum(o.macBuf[:0])
+	copy(dst[o.pageSize:], o.macBuf)
+	return dst, nil
 }
 
 func (o *SqrtORAM) decrypt(tag uint64, ct []byte) ([]byte, error) {
@@ -248,21 +288,18 @@ func (o *SqrtORAM) decrypt(tag uint64, ct []byte) ([]byte, error) {
 		return nil, fmt.Errorf("pir: ciphertext too short")
 	}
 	body, sum := ct[:len(ct)-sha256.Size], ct[len(ct)-sha256.Size:]
-	block, err := aes.NewCipher(o.key[:16])
-	if err != nil {
-		return nil, err
-	}
-	iv := make([]byte, aes.BlockSize)
-	binary.LittleEndian.PutUint64(iv, o.epoch)
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[:], o.epoch)
 	binary.LittleEndian.PutUint64(iv[8:], tag)
-	mac := hmac.New(sha256.New, o.key[16:])
-	mac.Write(iv)
-	mac.Write(body)
-	if !hmac.Equal(mac.Sum(nil), sum) {
+	o.mac.Reset()
+	o.mac.Write(iv[:])
+	o.mac.Write(body)
+	o.macBuf = o.mac.Sum(o.macBuf[:0])
+	if !hmac.Equal(o.macBuf, sum) {
 		return nil, fmt.Errorf("pir: page authentication failed (storage tampered?)")
 	}
 	pt := make([]byte, len(body))
-	cipher.NewCTR(block, iv).XORKeyStream(pt, body)
+	cipher.NewCTR(o.block, iv[:]).XORKeyStream(pt, body)
 	return pt, nil
 }
 

@@ -17,95 +17,237 @@ import (
 // target page. As long as the servers do not collude, each sees a uniformly
 // random subset, revealing nothing about the target — not even
 // computationally bounded adversaries learn anything.
+//
+// Both replicas answer from a contiguous word arena (see kernel.go) with
+// the word-wide XOR kernel, and a multi-page ReadBatch answers all k
+// selectors in a single scan per server — k accumulators walking the file
+// once — instead of k independent scans. Each batched query still samples
+// its own fresh selector vector, so the servers' views stay uniform and
+// mutually independent whether pages arrive one at a time or batched.
 type XORPIR struct {
 	a, b     *xorServer
 	numPages int
 	pageSize int
 	rng      io.Reader
-	// lastMu guards the last-query fields: reads are otherwise stateless
-	// and run concurrently under a batch fan-out.
-	lastMu sync.Mutex
-	// QueriesSeen exposes the last query vectors each server received, so
-	// tests can verify the servers' views are uniform and uncorrelated
-	// with the target.
-	LastQueryA, LastQueryB []byte
+	scratch  sync.Pool // *xorScratch, sized for this store
+
+	// lastMu guards the recorded-query buffers: reads are otherwise
+	// stateless and run concurrently under a batch fan-out. The buffers
+	// are reused across reads (the hot path records without allocating),
+	// so observers go through LastQueries/LastBatchQueries, which copy.
+	lastMu                 sync.Mutex
+	lastBatchA, lastBatchB [][]byte
 }
 
-// xorServer is one non-colluding replica holding the full plaintext file.
+// xorServer is one non-colluding replica holding the full plaintext file
+// flattened into word lanes.
 type xorServer struct {
-	pages    [][]byte
-	pageSize int
+	arena *wordArena
 }
 
-// answer XORs together the pages selected by the bit vector.
-func (s *xorServer) answer(sel []byte) []byte {
-	out := make([]byte, s.pageSize)
-	for i, page := range s.pages {
-		if sel[i/8]&(1<<(i%8)) != 0 {
-			for j := range page {
-				out[j] ^= page[j]
-			}
-		}
-	}
-	return out
+// xorScratch is the per-batch working set: selector vectors and word
+// accumulators for both servers, backed by two flat allocations so a
+// steady-state batch reuses everything.
+type xorScratch struct {
+	selbuf       []byte
+	selsA, selsB [][]byte
+	accbuf       []uint64
+	accsA, accsB [][]uint64
 }
 
 // NewXORPIR replicates the pages of src onto two logical servers (the
 // answer to any query XORs an arbitrary page subset, so both replicas hold
 // the full plaintext in memory).
 func NewXORPIR(src pagefile.Reader) (*XORPIR, error) {
-	pages, err := materialize(src)
+	arena, err := newWordArena(src)
 	if err != nil {
 		return nil, err
 	}
-	pageSize := src.PageSize()
-	if len(pages) == 0 {
-		return nil, fmt.Errorf("pir: empty file")
-	}
 	return &XORPIR{
-		a:        &xorServer{pages: pages, pageSize: pageSize},
-		b:        &xorServer{pages: pages, pageSize: pageSize},
-		numPages: len(pages),
-		pageSize: pageSize,
+		a:        &xorServer{arena: arena},
+		b:        &xorServer{arena: arena},
+		numPages: arena.numPages,
+		pageSize: arena.pageSize,
 		rng:      rand.Reader,
 	}, nil
 }
 
+// selBytes is the selector vector size: one bit per page.
+func (x *XORPIR) selBytes() int { return (x.numPages + 7) / 8 }
+
+// getScratch rents a scratch sized for a k-query batch.
+func (x *XORPIR) getScratch(k int) *xorScratch {
+	sc, _ := x.scratch.Get().(*xorScratch)
+	if sc == nil {
+		sc = &xorScratch{}
+	}
+	nbytes, wpp := x.selBytes(), x.a.arena.wpp
+	if cap(sc.selbuf) < 2*k*nbytes {
+		sc.selbuf = make([]byte, 2*k*nbytes)
+	}
+	sc.selbuf = sc.selbuf[:2*k*nbytes]
+	if cap(sc.accbuf) < 2*k*wpp {
+		sc.accbuf = make([]uint64, 2*k*wpp)
+	}
+	sc.accbuf = sc.accbuf[:2*k*wpp]
+	sc.selsA, sc.selsB = sliceRows(sc.selsA[:0], sc.selbuf[:k*nbytes], nbytes), sliceRows(sc.selsB[:0], sc.selbuf[k*nbytes:], nbytes)
+	sc.accsA, sc.accsB = sliceWordRows(sc.accsA[:0], sc.accbuf[:k*wpp], wpp), sliceWordRows(sc.accsB[:0], sc.accbuf[k*wpp:], wpp)
+	return sc
+}
+
+// sliceRows cuts flat into rows of n bytes, reusing dst's backing array.
+func sliceRows(dst [][]byte, flat []byte, n int) [][]byte {
+	for off := 0; off < len(flat); off += n {
+		dst = append(dst, flat[off:off+n])
+	}
+	return dst
+}
+
+// sliceWordRows cuts flat into rows of n words, reusing dst's backing array.
+func sliceWordRows(dst [][]uint64, flat []uint64, n int) [][]uint64 {
+	for off := 0; off < len(flat); off += n {
+		dst = append(dst, flat[off:off+n])
+	}
+	return dst
+}
+
 // Read implements Store.
 func (x *XORPIR) Read(page int) ([]byte, error) {
-	if page < 0 || page >= x.numPages {
-		return nil, fmt.Errorf("pir: page %d of %d", page, x.numPages)
-	}
-	nbytes := (x.numPages + 7) / 8
-	selA := make([]byte, nbytes)
-	if _, err := io.ReadFull(x.rng, selA); err != nil {
+	out, err := x.ReadBatch(context.Background(), []int{page})
+	if err != nil {
 		return nil, err
 	}
-	// Mask trailing bits beyond numPages so the two views stay comparable.
-	if rem := x.numPages % 8; rem != 0 {
-		selA[nbytes-1] &= byte(1<<rem) - 1
-	}
-	selB := make([]byte, nbytes)
-	copy(selB, selA)
-	selB[page/8] ^= 1 << (page % 8)
+	return out[0], nil
+}
 
-	x.lastMu.Lock()
-	x.LastQueryA, x.LastQueryB = selA, selB
-	x.lastMu.Unlock()
-	ra := x.a.answer(selA)
-	rb := x.b.answer(selB)
-	out := make([]byte, x.pageSize)
+// ReadBatch implements BatchStore: every batched read samples its own fresh
+// query vectors against the immutable replicas (so the servers' views stay
+// independent and uniform), and the whole batch is answered with one scan
+// of each replica — k accumulators per scan rather than k scans.
+func (x *XORPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
+	out := make([][]byte, len(pages))
+	flat := make([]byte, len(pages)*x.pageSize)
 	for i := range out {
-		out[i] = ra[i] ^ rb[i]
+		out[i] = flat[i*x.pageSize : (i+1)*x.pageSize]
+	}
+	if err := x.ReadBatchInto(ctx, pages, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// ReadBatch implements BatchStore: each read samples fresh query vectors
-// against the immutable replicas, so batched reads are independent.
-func (x *XORPIR) ReadBatch(ctx context.Context, pages []int) ([][]byte, error) {
-	return readEach(ctx, x, pages)
+// ReadBatchInto implements BatchInto: like ReadBatch, writing the page
+// contents into caller-provided buffers. With pooled scratch inside the
+// store, a steady-state batch allocates nothing beyond what the
+// cryptographic randomness source needs.
+func (x *XORPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) error {
+	if len(dst) != len(pages) {
+		return fmt.Errorf("pir: %d buffers for %d pages", len(dst), len(pages))
+	}
+	for _, p := range pages {
+		if p < 0 || p >= x.numPages {
+			return fmt.Errorf("pir: page %d of %d", p, x.numPages)
+		}
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	k, nbytes := len(pages), x.selBytes()
+	sc := x.getScratch(k)
+	defer x.scratch.Put(sc)
+
+	// One draw covers every query's server-A vector: disjoint stretches of
+	// a uniform stream are mutually independent, so per-query independence
+	// is preserved. Trailing bits beyond numPages are masked so the two
+	// server views stay comparable bit for bit.
+	if _, err := io.ReadFull(x.rng, sc.selbuf[:k*nbytes]); err != nil {
+		return err
+	}
+	mask := byte(0xFF)
+	if rem := x.numPages % 8; rem != 0 {
+		mask = byte(1<<rem) - 1
+	}
+	for j, p := range pages {
+		selA, selB := sc.selsA[j], sc.selsB[j]
+		selA[nbytes-1] &= mask
+		copy(selB, selA)
+		selB[p/8] ^= 1 << (p % 8)
+	}
+	x.recordQueries(sc.selsA, sc.selsB)
+
+	// One scan per replica answers the whole batch. The ctx check between
+	// the two scans is the only read boundary a single-scan batch has.
+	clearWords(sc.accbuf)
+	x.a.arena.answerAll(sc.selsA, sc.accsA)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	x.b.arena.answerAll(sc.selsB, sc.accsB)
+	for j := range pages {
+		acc := sc.accsA[j]
+		xorWords(acc, sc.accsB[j])
+		unpackWords(dst[j][:x.pageSize], acc)
+	}
+	return nil
 }
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// recordQueries snapshots the servers' views for the privacy tests,
+// reusing the retained buffers so steady-state recording allocates nothing.
+func (x *XORPIR) recordQueries(selsA, selsB [][]byte) {
+	x.lastMu.Lock()
+	defer x.lastMu.Unlock()
+	for len(x.lastBatchA) < len(selsA) {
+		x.lastBatchA = append(x.lastBatchA, nil)
+		x.lastBatchB = append(x.lastBatchB, nil)
+	}
+	x.lastBatchA, x.lastBatchB = x.lastBatchA[:len(selsA)], x.lastBatchB[:len(selsB)]
+	for j := range selsA {
+		x.lastBatchA[j] = append(x.lastBatchA[j][:0], selsA[j]...)
+		x.lastBatchB[j] = append(x.lastBatchB[j][:0], selsB[j]...)
+	}
+}
+
+// LastQueries returns copies of the query vectors the two servers saw for
+// the most recent read (for a batch, its last query). Test observability:
+// the privacy tests verify the views are uniform and differ only at the
+// target. Nil before the first read.
+func (x *XORPIR) LastQueries() (a, b []byte) {
+	x.lastMu.Lock()
+	defer x.lastMu.Unlock()
+	last := len(x.lastBatchA) - 1
+	if last < 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), x.lastBatchA[last]...), append([]byte(nil), x.lastBatchB[last]...)
+}
+
+// LastBatchQueries returns copies of the per-query selector vectors the two
+// servers saw in the most recent ReadBatch, in request order. Test
+// observability, like LastQueryA/B.
+func (x *XORPIR) LastBatchQueries() (a, b [][]byte) {
+	x.lastMu.Lock()
+	defer x.lastMu.Unlock()
+	a = make([][]byte, len(x.lastBatchA))
+	b = make([][]byte, len(x.lastBatchB))
+	for j := range x.lastBatchA {
+		a[j] = append([]byte(nil), x.lastBatchA[j]...)
+		b[j] = append([]byte(nil), x.lastBatchB[j]...)
+	}
+	return a, b
+}
+
+// SingleScanBatch implements SingleScan: a batch costs one scan regardless
+// of size, so the serving layer must not split it.
+func (x *XORPIR) SingleScanBatch() bool { return true }
 
 // NumPages implements Store.
 func (x *XORPIR) NumPages() int { return x.numPages }

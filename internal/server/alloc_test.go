@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/wire"
+)
+
+// TestSteadyStateFetchZeroAllocs pins the zero-allocation property of the
+// fetch-serving hot path: once the pooled scratch is warm, serving one
+// batched Fetch — read the request frame into a recycled buffer, decode it
+// in place, read the pages through the worker pool into the scratch's page
+// buffers, encode the MsgPages response into the scratch encoder, and write
+// the response frame — allocates nothing.
+func TestSteadyStateFetchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	const numPages, pageSize, k = 64, 256, 16
+	rng := rand.New(rand.NewSource(1))
+	pages := make([][]byte, numPages)
+	for i := range pages {
+		pages[i] = make([]byte, pageSize)
+		rng.Read(pages[i])
+	}
+	db := &lbs.Database{
+		Scheme: "T",
+		Header: []byte{1},
+		Files:  []pagefile.Reader{pagefile.SlicePages("F", pageSize, pages)},
+	}
+	lsrv, err := lbs.NewServer(db, costmodel.Default(), nil, lbs.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hosted{name: "T", srv: lsrv, limit: 1}
+	s := New(Options{})
+
+	req := wire.Fetch{File: "F"}
+	for i := 0; i < k; i++ {
+		req.Pages = append(req.Pages, uint32(i*3%numPages))
+	}
+	var framed bytes.Buffer
+	if err := wire.WriteFrame(&framed, wire.MsgFetch, 7, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The per-connection working set a live session holds: the frame read
+	// buffer, the fetch scratch, and the buffered response writer.
+	var frameBuf []byte
+	sc := fetchPool.Get().(*fetchScratch)
+	defer fetchPool.Put(sc)
+	br := bytes.NewReader(nil)
+	bw := bufio.NewWriterSize(io.Discard, 64<<10)
+	fw := wire.NewFrameWriter(bw)
+	ctx := context.Background()
+
+	serve := func() {
+		br.Reset(framed.Bytes())
+		_, qid, payload, buf, err := wire.ReadFrameBuf(br, wire.DefaultMaxFrame, frameBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frameBuf = buf
+		if err := sc.req.DecodeInto(payload); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := s.answerFetch(ctx, h, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.WriteFrame(wire.MsgPages, qid, resp); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve() // warm the buffers
+	if allocs := testing.AllocsPerRun(200, serve); allocs != 0 {
+		t.Fatalf("steady-state fetch path allocates %.1f objects per serve; want 0", allocs)
+	}
+}
+
+// TestAnswerFetchMatchesReadPages checks the pooled serving path returns
+// exactly what the allocating path returns, across reuse of one scratch for
+// requests of different files, sizes and batch shapes.
+func TestAnswerFetchMatchesReadPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mkfile := func(name string, n, ps int) pagefile.Reader {
+		pages := make([][]byte, n)
+		for i := range pages {
+			pages[i] = make([]byte, ps)
+			rng.Read(pages[i])
+		}
+		return pagefile.SlicePages(name, ps, pages)
+	}
+	db := &lbs.Database{
+		Scheme: "T",
+		Header: []byte{1},
+		Files:  []pagefile.Reader{mkfile("A", 32, 64), mkfile("B", 7, 13)},
+	}
+	lsrv, err := lbs.NewServer(db, costmodel.Default(), nil, lbs.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hosted{name: "T", srv: lsrv, limit: 1}
+	s := New(Options{})
+	sc := fetchPool.Get().(*fetchScratch)
+	defer fetchPool.Put(sc)
+
+	cases := []wire.Fetch{
+		{File: "A", Pages: []uint32{0, 31, 5, 5, 17}},
+		{File: "B", Pages: []uint32{6, 0, 3}},
+		{File: "A", Pages: []uint32{2}},
+		{File: "B", Pages: []uint32{1, 1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, req := range cases {
+		sc.req = wire.Fetch{File: req.File, Pages: append(sc.req.Pages[:0], req.Pages...)}
+		payload, err := s.answerFetch(context.Background(), h, sc)
+		if err != nil {
+			t.Fatalf("%s%v: %v", req.File, req.Pages, err)
+		}
+		resp, err := wire.DecodePages(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := make([]int, len(req.Pages))
+		for i, p := range req.Pages {
+			idx[i] = int(p)
+		}
+		want, err := lsrv.ReadPages(context.Background(), req.File, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Pages) != len(want) {
+			t.Fatalf("%s%v: %d pages, want %d", req.File, req.Pages, len(resp.Pages), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(resp.Pages[i], want[i]) {
+				t.Fatalf("%s[%d]: content mismatch", req.File, req.Pages[i])
+			}
+		}
+	}
+	// Hostile index: the error must name the page, not crash the scratch.
+	sc.req = wire.Fetch{File: "B", Pages: []uint32{7}}
+	if _, err := s.answerFetch(context.Background(), h, sc); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/lbs"
+	"repro/internal/pagefile"
 	"repro/internal/wire"
 )
 
@@ -274,25 +275,66 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// readBatch serves one batched Fetch through the database's own worker
-// pool (lbs.Server.ReadPages fans the batch out and bounds the goroutines).
-// The query's context aborts a read waiting for a pool slot — freeing the
-// worker for queries that still want answers. Page indices are validated up
-// front so the error text names the hostile index instead of surfacing from
-// deep inside a store.
-func (s *Server) readBatch(ctx context.Context, h *hosted, file string, pages []uint32) ([][]byte, error) {
-	info, err := h.srv.FileInfo(file)
+// fetchScratch is the pooled working set of the fetch-serving hot path: the
+// decoded request, the page-index conversion, the page buffers the PIR
+// stores fill, and the response encoder. One scratch serves one fetch at a
+// time; recycling them through fetchPool makes a steady-state fetch —
+// decode, PIR read, response encode — perform zero allocations (see
+// TestSteadyStateFetchZeroAllocs).
+type fetchScratch struct {
+	req  wire.Fetch
+	idx  []int
+	flat []byte   // one backing array for all page buffers
+	bufs [][]byte // page buffers, cut from flat
+	enc  *pagefile.Enc
+}
+
+var fetchPool = sync.Pool{New: func() any { return &fetchScratch{enc: pagefile.NewEnc(0)} }}
+
+// grow sizes the scratch for k pages of ps bytes each, keeping the backing
+// arrays when they are already big enough.
+func (sc *fetchScratch) grow(k, ps int) {
+	if cap(sc.idx) < k {
+		sc.idx = make([]int, k)
+	}
+	sc.idx = sc.idx[:k]
+	if need := k * ps; cap(sc.flat) < need {
+		sc.flat = make([]byte, need)
+	} else {
+		sc.flat = sc.flat[:need]
+	}
+	sc.bufs = sc.bufs[:0]
+	for off := 0; off < len(sc.flat); off += ps {
+		sc.bufs = append(sc.bufs, sc.flat[off:off+ps])
+	}
+}
+
+// answerFetch serves one decoded Fetch (held in sc.req): it validates the
+// page indices up front — so the error text names the hostile index instead
+// of surfacing from deep inside a store — reads the pages into the scratch
+// buffers through the database's worker pool (lbs.Server.ReadPagesInto
+// routes single-scan stores whole and fans the rest out), and encodes the
+// MsgPages payload into the scratch encoder. The query's context aborts a
+// read waiting for a pool slot, freeing the worker for queries that still
+// want answers. The returned payload aliases sc and is valid until the
+// scratch is reused.
+func (s *Server) answerFetch(ctx context.Context, h *hosted, sc *fetchScratch) ([]byte, error) {
+	info, err := h.srv.FileInfo(sc.req.File)
 	if err != nil {
 		return nil, err
 	}
-	idx := make([]int, len(pages))
-	for i, p := range pages {
+	sc.grow(len(sc.req.Pages), info.PageSize)
+	for i, p := range sc.req.Pages {
 		if int64(p) >= int64(info.NumPages) {
-			return nil, fmt.Errorf("page %d out of range for %s (%d pages)", p, file, info.NumPages)
+			return nil, fmt.Errorf("page %d out of range for %s (%d pages)", p, sc.req.File, info.NumPages)
 		}
-		idx[i] = int(p)
+		sc.idx[i] = int(p)
 	}
-	return h.srv.ReadPages(ctx, file, idx)
+	if err := h.srv.ReadPagesInto(ctx, sc.req.File, sc.idx, sc.bufs); err != nil {
+		return nil, err
+	}
+	sc.enc.Reset()
+	return wire.Pages{Pages: sc.bufs}.EncodeTo(sc.enc), nil
 }
 
 // Traces returns the retained server-observed traces of the named database,

@@ -40,6 +40,7 @@ type session struct {
 
 	wmu sync.Mutex // serializes response frames from query goroutines
 	bw  *bufio.Writer
+	fw  *wire.FrameWriter // writes through bw; shares wmu
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -71,15 +72,28 @@ type query struct {
 	ended   bool
 }
 
-// sframe is one routed client frame.
+// sframe is one routed client frame. payload aliases a pooled buffer (buf);
+// whoever finishes handling the frame returns it with putFrameBuf.
 type sframe struct {
 	t       wire.MsgType
 	payload []byte
+	buf     *[]byte
+}
+
+// framePool recycles frame payload buffers across all sessions: the
+// connection reader rents one per frame and the handler that consumed the
+// frame returns it, so the steady-state read loop allocates nothing.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+func putFrameBuf(bp *[]byte) {
+	if bp != nil {
+		framePool.Put(bp)
+	}
 }
 
 func newSession(s *Server, conn net.Conn) *session {
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	return &session{
+	ss := &session{
 		s:       s,
 		conn:    conn,
 		br:      bufio.NewReaderSize(conn, 64<<10),
@@ -88,6 +102,8 @@ func newSession(s *Server, conn net.Conn) *session {
 		cancel:  cancel,
 		queries: map[uint32]*query{},
 	}
+	ss.fw = wire.NewFrameWriter(ss.bw)
+	return ss
 }
 
 // send writes one frame and flushes. Safe for concurrent use by the query
@@ -95,7 +111,7 @@ func newSession(s *Server, conn net.Conn) *session {
 func (ss *session) send(t wire.MsgType, qid uint32, payload []byte) error {
 	ss.wmu.Lock()
 	defer ss.wmu.Unlock()
-	if err := wire.WriteFrame(ss.bw, t, qid, payload); err != nil {
+	if err := ss.fw.WriteFrame(t, qid, payload); err != nil {
 		return err
 	}
 	return ss.bw.Flush()
@@ -122,14 +138,17 @@ func (ss *session) run() {
 		return
 	}
 	for {
-		t, qid, payload, err := wire.ReadFrame(ss.br, ss.s.opts.MaxFrame)
+		bp := framePool.Get().(*[]byte)
+		t, qid, payload, buf, err := wire.ReadFrameBuf(ss.br, ss.s.opts.MaxFrame, *bp)
+		*bp = buf
 		if err != nil {
+			putFrameBuf(bp)
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				ss.s.opts.Logf("privspd: %s: read: %v", ss.conn.RemoteAddr(), err)
 			}
 			return
 		}
-		ss.dispatch(t, qid, payload)
+		ss.dispatch(t, qid, payload, bp)
 	}
 }
 
@@ -177,17 +196,21 @@ func (ss *session) handshake() error {
 }
 
 // dispatch handles connection-level frames inline and routes query frames
-// to their goroutine.
-func (ss *session) dispatch(t wire.MsgType, qid uint32, payload []byte) {
+// to their goroutine. bp is the frame's pooled payload buffer: inline
+// frames return it here, routed frames hand it to the query goroutine.
+func (ss *session) dispatch(t wire.MsgType, qid uint32, payload []byte, bp *[]byte) {
 	switch t {
 	case wire.MsgStatsReq:
 		ss.send(wire.MsgStats, qid, ss.s.Stats().Encode())
+		putFrameBuf(bp)
 		return
 	case wire.MsgBeginQuery:
 		ss.beginQuery(qid)
+		putFrameBuf(bp)
 		return
 	case wire.MsgCancel:
 		ss.cancelQuery(qid, payload)
+		putFrameBuf(bp)
 		return
 	}
 	ss.qmu.Lock()
@@ -195,12 +218,14 @@ func (ss *session) dispatch(t wire.MsgType, qid uint32, payload []byte) {
 	ss.qmu.Unlock()
 	if q == nil {
 		ss.sendErr(qid, "no open query %d for %s", qid, t)
+		putFrameBuf(bp)
 		return
 	}
 	select {
-	case q.inbox <- sframe{t, payload}:
+	case q.inbox <- sframe{t, payload, bp}:
 	case <-q.ctx.Done():
 		// The query is going away; its pending frame is moot.
+		putFrameBuf(bp)
 	}
 }
 
@@ -261,7 +286,9 @@ func (ss *session) runQuery(q *query) {
 		case <-q.ctx.Done():
 			return
 		case f := <-q.inbox:
-			if terminal := ss.handleQueryFrame(q, f); terminal {
+			terminal := ss.handleQueryFrame(q, f)
+			putFrameBuf(f.buf)
+			if terminal {
 				return
 			}
 		}
@@ -289,16 +316,17 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 		return false
 
 	case wire.MsgFetch:
-		req, err := wire.DecodeFetch(f.payload)
-		if err != nil {
+		sc := fetchPool.Get().(*fetchScratch)
+		defer fetchPool.Put(sc)
+		if err := sc.req.DecodeInto(f.payload); err != nil {
 			ss.sendErr(q.id, "%v", err)
 			return false
 		}
-		if len(req.Pages) == 0 {
+		if len(sc.req.Pages) == 0 {
 			ss.sendErr(q.id, "empty fetch")
 			return false
 		}
-		pages, err := ss.s.readBatch(q.ctx, ss.db, req.File, req.Pages)
+		payload, err := ss.s.answerFetch(q.ctx, ss.db, sc)
 		if err != nil {
 			if q.ctx.Err() != nil {
 				// Cancelled while the read was queued or between its page
@@ -311,11 +339,13 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 		}
 		// The adversarial view: file name and count only — the page
 		// indices model a PIR-encrypted request and are never recorded.
-		for range req.Pages {
-			fmt.Fprintf(&q.trace, "  fetch %s\n", req.File)
+		for range sc.req.Pages {
+			q.trace.WriteString("  fetch ")
+			q.trace.WriteString(sc.req.File)
+			q.trace.WriteByte('\n')
 		}
-		q.fetched += uint64(len(req.Pages))
-		ss.send(wire.MsgPages, q.id, wire.Pages{Pages: pages}.Encode())
+		q.fetched += uint64(len(sc.req.Pages))
+		ss.send(wire.MsgPages, q.id, payload)
 		return false
 
 	case wire.MsgEndQuery:

@@ -113,17 +113,43 @@ func (t MsgType) String() string {
 // statistics, and errors that concern the connection rather than one query.
 const ControlID uint32 = 0
 
+// frameHdrLen is the fixed frame header size: length + type + query ID.
+const frameHdrLen = 9
+
 // WriteFrame emits one frame addressed to the given query ID (ControlID for
-// connection-level traffic).
+// connection-level traffic). Hot serving loops should hold a FrameWriter
+// instead: the header array here escapes through the io.Writer, costing one
+// allocation per frame.
 func WriteFrame(w io.Writer, t MsgType, queryID uint32, payload []byte) error {
+	var hdr [frameHdrLen]byte
+	return writeFrame(w, hdr[:], t, queryID, payload)
+}
+
+// FrameWriter writes frames through a persistent header buffer, so a
+// steady-state response path emits frames without allocating.
+type FrameWriter struct {
+	w   io.Writer
+	hdr [frameHdrLen]byte
+}
+
+// NewFrameWriter wraps w (typically a *bufio.Writer; FrameWriter never
+// flushes).
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame emits one frame. Not safe for concurrent use: the caller
+// serializes writers (the daemon's per-connection write lock).
+func (fw *FrameWriter) WriteFrame(t MsgType, queryID uint32, payload []byte) error {
+	return writeFrame(fw.w, fw.hdr[:], t, queryID, payload)
+}
+
+func writeFrame(w io.Writer, hdr []byte, t MsgType, queryID uint32, payload []byte) error {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return fmt.Errorf("wire: payload of %d bytes does not fit a frame", len(payload))
 	}
-	var hdr [9]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
 	binary.BigEndian.PutUint32(hdr[5:9], queryID)
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:frameHdrLen]); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -138,20 +164,39 @@ func WriteFrame(w io.Writer, t MsgType, queryID uint32, payload []byte) error {
 // length is compared in 64 bits so a hostile header cannot overflow int on
 // 32-bit platforms.
 func ReadFrame(r io.Reader, maxFrame int) (MsgType, uint32, []byte, error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+	t, qid, payload, _, err := ReadFrameBuf(r, maxFrame, nil)
+	return t, qid, payload, err
+}
+
+// ReadFrameBuf is ReadFrame reading the payload into buf, growing it only
+// when too small: a serving loop that recycles its buffers reads frames
+// without allocating in steady state. The header is staged in the front of
+// buf too (a stack-local header array would escape through the io.Reader
+// and defeat the point). The payload aliases the returned buffer (buf or
+// its replacement), so the caller must be done with it before reusing the
+// buffer for the next frame.
+func ReadFrameBuf(r io.Reader, maxFrame int, buf []byte) (MsgType, uint32, []byte, []byte, error) {
+	if cap(buf) < frameHdrLen {
+		buf = make([]byte, frameHdrLen)
+	}
+	hdr := buf[:frameHdrLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if uint64(n) > uint64(maxFrame) {
-		return 0, 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
-	}
+	t := MsgType(hdr[4])
 	qid := binary.BigEndian.Uint32(hdr[5:9])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	if uint64(n) > uint64(maxFrame) {
+		return 0, 0, nil, buf, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	return MsgType(hdr[4]), qid, payload, nil
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, buf, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return t, qid, payload, buf, nil
 }
 
 // MaxFetchBatch is the largest page batch one Fetch frame carries (its
@@ -326,7 +371,13 @@ type Fetch struct {
 
 // Encode serializes the message payload.
 func (m Fetch) Encode() []byte {
-	e := pagefile.NewEnc(4 + len(m.File) + 4*len(m.Pages))
+	return m.EncodeTo(pagefile.NewEnc(4 + len(m.File) + 4*len(m.Pages)))
+}
+
+// EncodeTo serializes the message payload into e, which the caller has
+// Reset: with a reused encoder, a steady-state stream of fetches encodes
+// without allocating. The returned bytes alias e's buffer.
+func (m Fetch) EncodeTo(e *pagefile.Enc) []byte {
 	putString(e, m.File)
 	e.U16(uint16(len(m.Pages)))
 	for _, p := range m.Pages {
@@ -337,13 +388,28 @@ func (m Fetch) Encode() []byte {
 
 // DecodeFetch reverses Fetch.Encode.
 func DecodeFetch(b []byte) (Fetch, error) {
+	var m Fetch
+	err := m.DecodeInto(b)
+	return m, err
+}
+
+// DecodeInto is DecodeFetch reusing m's storage: the page list refills the
+// existing slice, and the file name is re-made only when it differs from
+// the previous decode (the raw-bytes comparison allocates nothing). A
+// serving loop decoding fetch after fetch for the same file allocates
+// nothing in steady state.
+func (m *Fetch) DecodeInto(b []byte) error {
 	d := pagefile.NewDec(b)
-	m := Fetch{File: getString(d)}
+	raw := d.Raw(int(d.U16()))
+	if string(raw) != m.File {
+		m.File = string(raw)
+	}
 	n := int(d.U16())
+	m.Pages = m.Pages[:0]
 	for i := 0; i < n && d.Err() == nil; i++ {
 		m.Pages = append(m.Pages, d.U32())
 	}
-	return m, decErr("Fetch", d)
+	return decErr("Fetch", d)
 }
 
 // Pages answers a Fetch with the page contents, in request order.
@@ -357,7 +423,15 @@ func (m Pages) Encode() []byte {
 	for _, p := range m.Pages {
 		size += 4 + len(p)
 	}
-	e := pagefile.NewEnc(size)
+	return m.EncodeTo(pagefile.NewEnc(size))
+}
+
+// EncodeTo serializes the message payload into e, which the caller has
+// Reset. This is the serving hot path's encoder: batch responses are built
+// in a pooled encoder whose backing array survives across fetches, so a
+// steady-state response performs zero allocations. The returned bytes alias
+// e's buffer and are valid until its next Reset.
+func (m Pages) EncodeTo(e *pagefile.Enc) []byte {
 	e.U16(uint16(len(m.Pages)))
 	for _, p := range m.Pages {
 		putBytes(e, p)
