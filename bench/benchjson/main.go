@@ -1,13 +1,21 @@
 // Command benchjson distills `go test -bench` output on stdin into the
-// machine-readable benchmark record bench/run.sh publishes as BENCH_5.json.
+// machine-readable benchmark record bench/run.sh publishes as BENCH_6.json.
 // Every benchmark result line becomes one entry carrying all its metrics
 // (ns/op, pages/s, MB/s, B/op, allocs/op, ...), so CI artifacts from
 // successive PRs diff directly.
+//
+// With -metrics FILE, a Prometheus-text scrape of the daemon (as served on
+// /metrics, or written by bench/serveload) is folded into a "serving"
+// section: every histogram family becomes per-label-set count/p50/p99
+// entries, with *_seconds families converted to milliseconds. That puts
+// the serving-path latency distribution — not just kernel microbenchmarks —
+// into the PR-over-PR record.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,15 +30,19 @@ type result struct {
 }
 
 type output struct {
-	Issue      int      `json:"issue"`
-	GoOS       string   `json:"goos"`
-	GoArch     string   `json:"goarch"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []result `json:"benchmarks"`
+	Issue      int       `json:"issue"`
+	GoOS       string    `json:"goos"`
+	GoArch     string    `json:"goarch"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []result  `json:"benchmarks"`
+	Serving    []serving `json:"serving,omitempty"`
 }
 
 func main() {
-	out := output{Issue: 5, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	metricsFile := flag.String("metrics", "", "Prometheus-text scrape to fold into the \"serving\" section")
+	flag.Parse()
+
+	out := output{Issue: 6, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -68,6 +80,18 @@ func main() {
 	if len(out.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
 		os.Exit(1)
+	}
+	if *metricsFile != "" {
+		raw, err := os.ReadFile(*metricsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		out.Serving, err = parseServing(string(raw))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -metrics %s: %v\n", *metricsFile, err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

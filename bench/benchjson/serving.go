@@ -1,0 +1,208 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// serving is one histogram series from a daemon scrape, summarized to the
+// two quantiles dashboards track. *_seconds families are reported in
+// milliseconds (p50_ms/p99_ms); dimensionless families (batch sizes) keep
+// native units (p50/p99).
+type serving struct {
+	Metric  string             `json:"metric"`
+	Labels  map[string]string  `json:"labels,omitempty"`
+	Count   uint64             `json:"count"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// histSeries accumulates one (family, label-set) histogram's cumulative
+// buckets while scanning the scrape.
+type histSeries struct {
+	metric  string
+	labels  map[string]string
+	uppers  []float64 // le bounds, scrape order (ascending by construction)
+	cumul   []float64
+	count   uint64
+	sum     float64
+	seconds bool
+}
+
+// parseServing extracts every histogram family from a Prometheus text
+// scrape and summarizes each label set to count + p50 + p99. Quantiles are
+// linearly interpolated inside the landing bucket — the same estimate
+// Prometheus's histogram_quantile() computes — so the JSON record matches
+// what a dashboard over the live daemon would show.
+func parseServing(scrape string) ([]serving, error) {
+	series := map[string]*histSeries{}
+	var order []string
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", line, err)
+		}
+		var kind string
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				kind, name = suffix, strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if kind == "" {
+			continue // counter or gauge sample
+		}
+		le, hasLE := labels["le"]
+		if kind == "_bucket" && !hasLE {
+			continue // a counter that merely ends in _bucket
+		}
+		delete(labels, "le")
+		key := name + "|" + labelKey(labels)
+		hs := series[key]
+		if hs == nil {
+			hs = &histSeries{metric: name, labels: labels, seconds: strings.HasSuffix(name, "_seconds")}
+			series[key] = hs
+			order = append(order, key)
+		}
+		switch kind {
+		case "_bucket":
+			upper := math.Inf(1)
+			if le != "+Inf" {
+				if upper, err = strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("line %q: bad le: %v", line, err)
+				}
+			}
+			hs.uppers = append(hs.uppers, upper)
+			hs.cumul = append(hs.cumul, value)
+		case "_sum":
+			hs.sum = value
+		case "_count":
+			hs.count = uint64(value)
+		}
+	}
+
+	var out []serving
+	for _, key := range order {
+		hs := series[key]
+		if len(hs.uppers) == 0 {
+			continue // *_sum/_count without buckets: a summary, not a histogram
+		}
+		s := serving{Metric: hs.metric, Labels: hs.labels, Count: hs.count, Metrics: map[string]float64{}}
+		unit, scale := "", 1.0
+		if hs.seconds {
+			unit, scale = "_ms", 1e3
+		}
+		s.Metrics["p50"+unit] = quantile(hs, 0.50) * scale
+		s.Metrics["p99"+unit] = quantile(hs, 0.99) * scale
+		if hs.count > 0 {
+			s.Metrics["mean"+unit] = hs.sum / float64(hs.count) * scale
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// quantile estimates the q-quantile from cumulative buckets by linear
+// interpolation inside the landing bucket (histogram_quantile semantics).
+// The +Inf bucket clamps to the last finite bound.
+func quantile(hs *histSeries, q float64) float64 {
+	total := hs.cumul[len(hs.cumul)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	for i, c := range hs.cumul {
+		if c < rank {
+			continue
+		}
+		lo, cumBefore := 0.0, 0.0
+		if i > 0 {
+			lo, cumBefore = hs.uppers[i-1], hs.cumul[i-1]
+		}
+		hi := hs.uppers[i]
+		if math.IsInf(hi, 1) {
+			return lo
+		}
+		if c == cumBefore {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-cumBefore)/(c-cumBefore)
+	}
+	return hs.uppers[len(hs.uppers)-1]
+}
+
+// parseSample splits one exposition line into name, labels and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	labels := map[string]string{}
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced braces")
+		}
+		name, rest = line[:i], strings.TrimSpace(line[j+1:])
+		for _, pair := range splitLabels(line[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, 0, fmt.Errorf("bad label %q", pair)
+			}
+			labels[k] = strings.Trim(v, `"`)
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("no value")
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, v, nil
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// labelKey renders a label set to a canonical sorted string.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s,", k, labels[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+#!/bin/sh
+# End-to-end observability smoke: start a real privspd with -admin, run
+# remote queries through the privsp CLI while the daemon is live, scrape
+# /metrics mid-run, and fail if the exported metric families diverge from
+# docs/metrics.catalog in either direction — an undocumented metric and a
+# silently dropped one are both regressions. Finishes with a graceful
+# SIGTERM and checks the final stats log line the shutdown path emits.
+#
+#   ./bench/metrics_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+port=$((21000 + $$ % 9000))
+aport=$((port + 1))
+bin=$(mktemp -t privspd.XXXXXX)
+dlog=$(mktemp -t privspd.log.XXXXXX)
+scrape=$(mktemp -t scrape.XXXXXX)
+exported=$(mktemp -t exported.XXXXXX)
+cataloged=$(mktemp -t cataloged.XXXXXX)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -f "$bin" "$dlog" "$scrape" "$exported" "$cataloged"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/privspd
+"$bin" -preset Oldenburg -scale 0.05 -schemes CI,LM \
+	-listen "127.0.0.1:$port" -admin "127.0.0.1:$aport" -stats 2s >"$dlog" 2>&1 &
+pid=$!
+
+ready=0
+for _ in $(seq 1 100); do
+	if curl -fsS "http://127.0.0.1:$aport/healthz" >/dev/null 2>&1; then
+		ready=1
+		break
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "metrics-smoke: daemon exited during startup:" >&2
+		cat "$dlog" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+if [ "$ready" != "1" ]; then
+	echo "metrics-smoke: /healthz never came up" >&2
+	cat "$dlog" >&2
+	exit 1
+fi
+
+# Queries over the real wire protocol, daemon live the whole time.
+go run ./cmd/privsp query -remote "127.0.0.1:$port" -db CI \
+	-preset Oldenburg -scale 0.05 -s 0 -t 42
+go run ./cmd/privsp query -remote "127.0.0.1:$port" -db LM \
+	-preset Oldenburg -scale 0.05 -s 3 -t 7
+
+curl -fsS "http://127.0.0.1:$aport/metrics" >"$scrape"
+
+# The exported families must match the checked-in catalog exactly.
+awk '$1 == "#" && $2 == "TYPE" { print $3, $4 }' "$scrape" | sort >"$exported"
+grep -Ev '^(#|$)' docs/metrics.catalog | sort >"$cataloged"
+if ! diff -u "$cataloged" "$exported"; then
+	echo "metrics-smoke: exported families diverge from docs/metrics.catalog (see diff above)" >&2
+	exit 1
+fi
+
+# The load must actually have been counted.
+for series in \
+	'privsp_server_queries_total{db="CI"} 1' \
+	'privsp_server_queries_total{db="LM"} 1' \
+	'privsp_server_connections_total 2'; do
+	if ! grep -Fq "$series" "$scrape"; then
+		echo "metrics-smoke: expected series '$series' in scrape:" >&2
+		grep -F "${series%% *}" "$scrape" >&2 || true
+		exit 1
+	fi
+done
+
+# Graceful shutdown emits one final stats line reflecting the whole run.
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+if ! grep -Eq 'CI: 1 queries' "$dlog"; then
+	echo "metrics-smoke: no final stats line for CI in daemon log:" >&2
+	cat "$dlog" >&2
+	exit 1
+fi
+echo "metrics-smoke: ok (catalog consistent, queries counted, final stats line present)"

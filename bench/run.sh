@@ -1,24 +1,30 @@
 #!/bin/sh
 # Runs the oblivious-read benchmarks — the XOR scan kernels, the
 # single-scan multi-query XORPIR path, the single-read stores, and the
-# end-to-end worker-pool BatchRead — and distills the output into
-# machine-readable BENCH_5.json (pages/s, ns/op, B/op, allocs/op per
-# benchmark) so the performance trajectory is comparable PR over PR.
+# end-to-end worker-pool BatchRead — plus a short serving-path load
+# (bench/serveload: real daemon, real wire protocol, loopback), and
+# distills both into machine-readable BENCH_6.json: pages/s, ns/op, B/op,
+# allocs/op per benchmark, and per-scheme serving latency histograms
+# (p50/p99 ms) from the daemon's own telemetry. The performance trajectory
+# stays comparable PR over PR.
 #
-#   ./bench/run.sh                 # full run, writes BENCH_5.json
+#   ./bench/run.sh                 # full run, writes BENCH_6.json
 #   BENCH_SMOKE=1 ./bench/run.sh   # one iteration each: bit-rot guard (CI)
 #   BENCH_TIME=3s ./bench/run.sh   # longer per-benchmark budget
 #   BENCH_OUT=out.json ./bench/run.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_5.json}
+out=${BENCH_OUT:-BENCH_6.json}
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+scrape=$(mktemp)
+trap 'rm -f "$raw" "$scrape"' EXIT
 
 benchtime=${BENCH_TIME:-1s}
+loadqueries=${BENCH_LOAD_QUERIES:-25}
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
 	benchtime=1x
+	loadqueries=3
 fi
 
 go test ./internal/pir/ -run '^$' \
@@ -28,5 +34,7 @@ go test ./internal/pir/ -run '^$' \
 go test . -run '^$' -bench 'BenchmarkBatchRead$' \
 	-benchmem -benchtime "$benchtime" | tee -a "$raw"
 
-go run ./bench/benchjson <"$raw" >"$out"
+go run ./bench/serveload -queries "$loadqueries" >"$scrape"
+
+go run ./bench/benchjson -metrics "$scrape" <"$raw" >"$out"
 echo "bench: wrote $out"

@@ -1,0 +1,108 @@
+// Command serveload drives a short serving-path load entirely in-process:
+// it builds the requested scheme databases over a generated network, hosts
+// them on a loopback daemon, runs a fixed batch of remote queries per
+// scheme through the real wire protocol, and writes the daemon's
+// Prometheus-text /metrics scrape to stdout. bench/run.sh feeds that
+// scrape to `benchjson -metrics` so BENCH_6.json carries the serving-path
+// latency histograms (p50/p99 per scheme) next to the kernel benchmarks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/server"
+	"repro/privsp"
+)
+
+func main() {
+	schemes := flag.String("schemes", "CI,PI,HY,AF,LM", "comma-separated schemes to host and load")
+	scale := flag.Float64("scale", 0.08, "Oldenburg subgraph scale")
+	queries := flag.Int("queries", 10, "queries per scheme")
+	seed := flag.Int64("seed", 1, "network generation seed")
+	flag.Parse()
+	log.SetPrefix("serveload: ")
+	log.SetFlags(0)
+
+	if err := run(*schemes, *scale, *queries, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(schemes string, scale float64, queries int, seed int64) error {
+	net0 := privsp.Generate(privsp.Oldenburg, scale, seed)
+	srv := server.New(server.Options{})
+	var names []string
+	for _, name := range strings.Split(schemes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		start := time.Now()
+		db, err := privsp.Build(net0, privsp.Config{Scheme: privsp.Scheme(name), Seed: seed})
+		if err != nil {
+			return fmt.Errorf("building %s: %v", name, err)
+		}
+		if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+			return fmt.Errorf("hosting %s: %v", name, err)
+		}
+		log.Printf("hosted %s (built in %v)", name, time.Since(start).Round(time.Millisecond))
+		names = append(names, name)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	n := privsp.NodeID(net0.NumNodes())
+	for _, name := range names {
+		remote, err := privsp.DialDatabase(ln.Addr().String(), name)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %v", name, err)
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			s := privsp.NodeID(i*7) % n
+			d := privsp.NodeID(i*13+5) % n
+			if _, err := remote.ShortestPath(context.Background(),
+				net0.NodePoint(s), net0.NodePoint(d)); err != nil {
+				remote.Close()
+				return fmt.Errorf("%s query %d: %v", name, i, err)
+			}
+		}
+		remote.Close()
+		log.Printf("%s: %d queries in %v", name, queries, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Let the daemon's per-query finish accounting (which runs after the
+	// client sees QueryDone) drain before snapshotting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		busy := false
+		for _, d := range srv.Stats().Databases {
+			if d.InFlight != 0 || d.BusyWorkers != 0 || d.QueuedReads != 0 {
+				busy = true
+			}
+		}
+		if !busy || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	return srv.Telemetry().WritePrometheus(os.Stdout)
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/server"
+	"repro/privsp"
+)
+
+// adminFixture hosts one CI-scheme daemon (default pir.Plain store, so the
+// full metric catalog is registered) shared by the admin-endpoint tests.
+var adminFixture struct {
+	once sync.Once
+	net  *privsp.Network
+	srv  *server.Server
+	addr string
+	err  error
+}
+
+func testDaemon(t *testing.T) (*privsp.Network, *server.Server, string) {
+	t.Helper()
+	adminFixture.once.Do(func() {
+		adminFixture.net = privsp.Generate(privsp.Oldenburg, 0.08, 1)
+		db, err := privsp.Build(adminFixture.net, privsp.Config{Scheme: privsp.CI})
+		if err != nil {
+			adminFixture.err = err
+			return
+		}
+		srv := server.New(server.Options{})
+		if err := srv.Host("CI", db.LBS(), costmodel.Default()); err != nil {
+			adminFixture.err = err
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			adminFixture.err = err
+			return
+		}
+		go srv.Serve(ln)
+		adminFixture.srv = srv
+		adminFixture.addr = ln.Addr().String()
+	})
+	if adminFixture.err != nil {
+		t.Fatal(adminFixture.err)
+	}
+	return adminFixture.net, adminFixture.srv, adminFixture.addr
+}
+
+// scrape fetches /metrics from the admin mux and returns the body.
+func scrape(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	ts := httptest.NewServer(newAdminMux(srv.Telemetry()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics: Content-Type %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue finds the sample value of the series whose name and label set
+// match the given prefix, e.g. `privsp_server_queries_total{db="CI"}`.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, series)), 64)
+		if err != nil {
+			t.Fatalf("series %s: bad value in %q: %v", series, line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in scrape:\n%s", series, body)
+	return 0
+}
+
+// settleDaemon waits for the daemon's per-query finish accounting (which
+// runs after the client sees QueryDone) to drain.
+func settleDaemon(t *testing.T, srv *server.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		busy := false
+		for _, d := range srv.Stats().Databases {
+			if d.InFlight != 0 || d.BusyWorkers != 0 || d.QueuedReads != 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query accounting did not settle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdminMetricsConsistency: the stats log line and the /metrics scrape
+// are two views over the same telemetry registry — after a batch of
+// queries, the per-db query and page counters must agree across
+// srv.Stats(), statsLine, and the Prometheus exposition.
+func TestAdminMetricsConsistency(t *testing.T) {
+	net0, srv, addr := testDaemon(t)
+	remote, err := privsp.DialDatabase(addr, "CI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := remote.ShortestPath(context.Background(),
+			net0.NodePoint(0), net0.NodePoint(privsp.NodeID(5+i))); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	settleDaemon(t, srv)
+
+	st := srv.Stats()
+	var queries, pages uint64
+	for _, d := range st.Databases {
+		if d.Name == "CI" {
+			queries, pages = d.Queries, d.Pages
+		}
+	}
+	if queries < n {
+		t.Fatalf("Stats() reports %d queries, ran %d", queries, n)
+	}
+
+	body := scrape(t, srv)
+	if got := metricValue(t, body, `privsp_server_queries_total{db="CI"}`); got != float64(queries) {
+		t.Errorf("/metrics queries_total = %v, Stats() = %d", got, queries)
+	}
+	if got := metricValue(t, body, `privsp_server_pages_served_total{db="CI"}`); got != float64(pages) {
+		t.Errorf("/metrics pages_served_total = %v, Stats() = %d", got, pages)
+	}
+	if got := metricValue(t, body, `privsp_server_queries_inflight{db="CI"}`); got != 0 {
+		t.Errorf("/metrics queries_inflight = %v after settle, want 0", got)
+	}
+	// The latency histogram must have recorded one observation per query.
+	if got := metricValue(t, body, `privsp_server_query_seconds_count{db="CI"}`); got != float64(queries) {
+		t.Errorf("/metrics query_seconds_count = %v, want %d", got, queries)
+	}
+
+	line := statsLine(st)
+	if want := fmt.Sprintf("CI: %d queries", queries); !strings.Contains(line, want) {
+		t.Errorf("stats line %q missing %q", line, want)
+	}
+	if want := fmt.Sprintf("%d pages", pages); !strings.Contains(line, want) {
+		t.Errorf("stats line %q missing %q", line, want)
+	}
+}
+
+// TestAdminHealthz: the liveness probe answers 200 with a plain body.
+func TestAdminHealthz(t *testing.T) {
+	_, srv, _ := testDaemon(t)
+	ts := httptest.NewServer(newAdminMux(srv.Telemetry()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsCatalog: the daemon's exported metric families match
+// docs/metrics.catalog exactly, in both directions. A family the daemon
+// exports but the catalog omits is an undocumented metric (and would slip
+// past the CI smoke job unreviewed); a family the catalog lists but the
+// daemon omits means eager registration broke and a dashboard would
+// silently flatline.
+func TestMetricsCatalog(t *testing.T) {
+	_, srv, _ := testDaemon(t)
+	body := scrape(t, srv)
+
+	exported := map[string]string{} // family -> type
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			exported[fields[2]] = fields[3]
+		}
+	}
+	if len(exported) == 0 {
+		t.Fatal("no TYPE lines in scrape")
+	}
+
+	raw, err := os.ReadFile("../../docs/metrics.catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]string{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("catalog line %q: want <family> <type>", line)
+		}
+		catalog[fields[0]] = fields[1]
+	}
+
+	var names []string
+	for name := range exported {
+		names = append(names, name)
+	}
+	for name := range catalog {
+		if _, ok := exported[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, exp := exported[name]
+		want, cat := catalog[name]
+		switch {
+		case !cat:
+			t.Errorf("daemon exports %s (%s) but docs/metrics.catalog does not list it", name, got)
+		case !exp:
+			t.Errorf("docs/metrics.catalog lists %s but the daemon does not export it", name)
+		case got != want:
+			t.Errorf("%s: exported type %s, catalog says %s", name, got, want)
+		}
+	}
+}

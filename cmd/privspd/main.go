@@ -19,15 +19,22 @@
 // take the sole database when only one is served). SIGINT/SIGTERM trigger
 // a graceful shutdown that waits for in-flight sessions.
 //
-// -pprof ADDR (off by default) serves net/http/pprof on a SEPARATE listen
-// address, so the serving hot paths — the PIR scan kernels above all — can
-// be profiled in deployment:
+// -admin ADDR (off by default) serves the operator endpoints on a SEPARATE
+// listen address: Prometheus-text /metrics over the daemon's telemetry
+// registry, a /healthz liveness probe, and the net/http/pprof profile
+// handlers, so the serving hot paths — the PIR scan kernels above all — can
+// be watched and profiled in deployment:
 //
-//	privspd -listen :7465 -db ci.psdb -pprof localhost:6060
+//	privspd -listen :7465 -db ci.psdb -admin localhost:6060
+//	curl http://localhost:6060/metrics
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
 //
-// Bind it to localhost (or other non-public interface): the profile
-// endpoints expose internals and must not face clients.
+// -pprof ADDR is the historical alias: it serves the same admin mux on yet
+// another address. Bind either to localhost (or other non-public
+// interface): the endpoints expose internals and must not face clients.
+// Every exported metric is a function of the adversary-visible access
+// pattern plus wall-clock timing — scraping the daemon reveals nothing
+// about query contents that Theorem 1 does not already concede.
 package main
 
 import (
@@ -35,11 +42,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // profile handlers on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,7 +70,8 @@ func main() {
 	landmarks := flag.Int("landmarks", 0, "LM anchors")
 	regions := flag.Int("regions", 0, "AF regions")
 	workers := flag.Int("workers", 0, "max concurrent PIR page reads per database (0 = 2x GOMAXPROCS)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	adminAddr := flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:6060; empty = disabled)")
+	pprofAddr := flag.String("pprof", "", "serve the admin endpoints on this additional address (historical alias of -admin)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
 	shutdownWait := flag.Duration("drain", 10*time.Second, "graceful shutdown window (in-flight queries are cancelled immediately; sessions get this long to settle)")
 	flag.Parse()
@@ -136,19 +143,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *pprofAddr != "" {
-		// The pprof endpoint rides its own listener, never the serving
-		// address: profiles are an operator tool, not a client surface.
-		go func() {
-			log.Printf("privspd: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("privspd: pprof: %v", err)
-			}
-		}()
+	// The admin endpoints ride their own listener(s), never the serving
+	// address: metrics and profiles are an operator tool, not a client
+	// surface. The mux is shared, so -admin and -pprof expose identical
+	// endpoints wherever they are bound.
+	var adminWait []func()
+	adminMux := newAdminMux(srv.Telemetry())
+	for _, a := range []struct{ addr, label string }{
+		{*adminAddr, "admin"}, {*pprofAddr, "pprof"},
+	} {
+		if a.addr == "" {
+			continue
+		}
+		wait, err := startAdmin(ctx, a.addr, a.label, adminMux)
+		if err != nil {
+			log.Fatalf("privspd: %s listen %s: %v", a.label, a.addr, err)
+		}
+		adminWait = append(adminWait, wait)
 	}
 
+	// The stats ticker gets its own cancellation, sequenced AFTER server
+	// shutdown: logStats emits a final line when it exits, and that line
+	// must reflect the settled post-shutdown counters.
+	statsCtx, statsStop := context.WithCancel(context.Background())
+	defer statsStop()
+	var statsWG sync.WaitGroup
 	if *statsEvery > 0 {
-		go logStats(ctx, srv, *statsEvery)
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			logStats(statsCtx, srv, *statsEvery)
+		}()
 	}
 
 	errc := make(chan error, 1)
@@ -157,6 +182,8 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
+			statsStop()
+			statsWG.Wait()
 			log.Fatalf("privspd: serve: %v", err)
 		}
 	case <-ctx.Done():
@@ -166,7 +193,14 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("privspd: forced shutdown: %v", err)
 		}
-		printStats(srv)
+		statsStop()
+		statsWG.Wait()
+		if *statsEvery <= 0 {
+			printStats(srv)
+		}
+		for _, wait := range adminWait {
+			wait()
+		}
 	}
 }
 
@@ -278,9 +312,13 @@ func loadNetwork(preset string, scale float64, seed int64, nodesFile, edgesFile 
 	return privsp.Generate(p, scale, seed), fmt.Sprintf("%s@%.3f", p, scale), nil
 }
 
+// logStats prints a stats line every tick, plus one final line when the
+// ticker is stopped — the shutdown path cancels ctx only after the server
+// has settled, so the last line is the authoritative end-of-run summary.
 func logStats(ctx context.Context, srv *server.Server, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
+	defer printStats(srv)
 	for {
 		select {
 		case <-ctx.Done():

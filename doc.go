@@ -14,6 +14,10 @@
 // serve-many persistence workflow (privsp.Database.Save / privsp.Open,
 // "privsp build -out" / "privspd -db": the expensive preprocessing runs
 // once and the daemon serves the resulting .psdb container straight from
-// disk). The benchmarks in bench_test.go regenerate every table and figure
-// (see also cmd/experiments).
+// disk). The daemon is observable without being leaky: internal/telemetry
+// backs a privspd -admin endpoint (Prometheus-text /metrics, /healthz,
+// pprof) whose exported series are functions of the adversary-visible
+// trace plus timing only — never of query contents (README
+// "Observability"). The benchmarks in bench_test.go regenerate every
+// table and figure (see also cmd/experiments).
 package repro

@@ -27,6 +27,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/lbs"
 	"repro/internal/pagefile"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -107,6 +108,8 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 		ctx, cancel = context.WithTimeout(ctx, opts.DialTimeout)
 		defer cancel()
 	}
+	sp := telemetry.Begin(ctx, "connect")
+	defer sp.End()
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -148,6 +151,7 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 		c.files[f.Name] = f
 	}
 	go c.readLoop(br)
+	mConnects.Inc()
 	return c, nil
 }
 
@@ -374,6 +378,7 @@ func (c *Client) StartQuery() *Query {
 	// On a failed client the query is not registered; its waits fail fast
 	// through the closed done channel.
 	c.mu.Unlock()
+	mInflight.Inc()
 	return &Query{c: c, id: id, resp: ch}
 }
 
@@ -401,11 +406,13 @@ func (q *Query) begin() error {
 // abandons the wait (late replies are dropped by the reader); the caller is
 // expected to settle the query with Cancel.
 func (q *Query) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, want wire.MsgType) ([]byte, error) {
+	start := time.Now()
 	if err := q.c.writeFrame(t, q.id, payload, true); err != nil {
 		return nil, err
 	}
 	select {
 	case f := <-q.resp:
+		mRoundtrip.Observe(int64(time.Since(start)))
 		if f.t == wire.MsgError {
 			if em, derr := wire.DecodeErrorMsg(f.payload); derr == nil {
 				return nil, &serverError{text: em.Text}
@@ -542,6 +549,7 @@ func (q *Query) End(ctx context.Context) (string, error) {
 		return "", err
 	}
 	q.done = true
+	mInflight.Dec()
 	q.c.release(q.id)
 	return done.Trace, nil
 }
@@ -557,6 +565,7 @@ func (q *Query) Cancel(reason uint8) {
 		return
 	}
 	q.done = true
+	mInflight.Dec()
 	if q.begun {
 		// Best-effort: the daemon also aborts on connection teardown.
 		q.c.writeFrame(wire.MsgCancel, q.id, wire.Cancel{Reason: reason}.Encode(), true)

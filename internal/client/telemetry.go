@@ -1,0 +1,19 @@
+package client
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Client-side series live in the process-global default registry: a client
+// process talks to however many daemons it likes, but its own view —
+// connects, round trips, open queries — is one program-wide story. Nothing
+// here depends on query contents; round-trip timing is the client's own
+// wall clock over the adversary-visible frame exchange.
+var (
+	mConnects = telemetry.Default().Counter("privsp_client_connects_total",
+		"daemon connections dialed and handshaken")
+	mRoundtrip = telemetry.Default().Histogram("privsp_client_roundtrip_seconds",
+		"request-to-reply wall time per wire round trip", telemetry.Seconds())
+	mInflight = telemetry.Default().Gauge("privsp_client_queries_inflight",
+		"query sessions open right now")
+)

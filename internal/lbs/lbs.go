@@ -29,6 +29,7 @@ import (
 	"repro/internal/pagefile"
 	"repro/internal/pir"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // Database is everything a scheme's build step produces: the public header,
@@ -194,6 +195,12 @@ type Server struct {
 	sem     chan struct{}
 	busy    atomic.Int32
 	queued  atomic.Int32
+
+	// Telemetry handles (nil-safe; nil until WithTelemetry/EnableTelemetry).
+	telReg                               *telemetry.Registry
+	telDB                                string
+	poolWait                             *telemetry.Histogram
+	routeWhole, routeFanOut, routeSerial *telemetry.Counter
 }
 
 // hostedStore is one file's PIR store plus the serving capabilities probed
@@ -266,6 +273,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		}
 		s.stores[f.Name()] = hs
 	}
+	s.initTelemetry()
 	return s, nil
 }
 
@@ -317,6 +325,7 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 		return nil, fmt.Errorf("lbs: no such file %q", file)
 	}
 	if hs.batch == nil {
+		s.routeSerial.Inc()
 		lock := hs.serial
 		select {
 		case lock <- struct{}{}:
@@ -343,6 +352,7 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 		workers = len(pages)
 	}
 	if workers <= 1 || hs.whole {
+		s.routeWhole.Inc()
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -363,6 +373,7 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 	// Fan the batch out as contiguous sub-batches, one pool slot each; the
 	// split never spawns more goroutines than workers, so a hostile
 	// maximum-size batch cannot balloon goroutine memory.
+	s.routeFanOut.Inc()
 	out := make([][]byte, len(pages))
 	err := s.fanOut(ctx, file, len(pages), workers, func(ctx context.Context, start, end int) error {
 		chunk, err := hs.batch.ReadBatch(ctx, pages[start:end])
@@ -396,6 +407,7 @@ func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, ds
 		return fmt.Errorf("lbs: PIR fetch %s: %d buffers for %d pages", file, len(dst), len(pages))
 	}
 	if hs.batch == nil {
+		s.routeSerial.Inc()
 		lock := hs.serial
 		select {
 		case lock <- struct{}{}:
@@ -421,6 +433,7 @@ func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, ds
 		workers = len(pages)
 	}
 	if workers <= 1 || hs.whole {
+		s.routeWhole.Inc()
 		if err := s.acquire(ctx); err != nil {
 			return err
 		}
@@ -433,6 +446,7 @@ func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, ds
 		}
 		return nil
 	}
+	s.routeFanOut.Inc()
 	return s.fanOut(ctx, file, len(pages), workers, func(ctx context.Context, start, end int) error {
 		return hs.readInto(ctx, pages[start:end], dst[start:end])
 	})
@@ -505,11 +519,16 @@ func (s *Server) fanOut(ctx context.Context, file string, n, workers int, run fu
 func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
+		// Free slot: record a zero wait without touching the clock — the
+		// fast path stays allocation- and syscall-free.
+		s.poolWait.Observe(0)
 	default:
 		s.queued.Add(1)
+		start := time.Now()
 		select {
 		case s.sem <- struct{}{}:
 			s.queued.Add(-1)
+			s.poolWait.Observe(int64(time.Since(start)))
 		case <-ctx.Done():
 			s.queued.Add(-1)
 			return ctx.Err()
@@ -595,7 +614,9 @@ func (c *Conn) DownloadHeader() ([]byte, error) {
 		c.err = err
 		return nil, err
 	}
+	sp := telemetry.Begin(c.ctx, "header")
 	h, err := c.backend.HeaderBytes(c.ctx)
+	sp.End()
 	if err != nil {
 		c.err = err
 		return nil, err
@@ -652,7 +673,9 @@ func (c *Conn) FetchMany(file string, pages []int) ([][]byte, error) {
 		c.err = err
 		return nil, err
 	}
+	sp := telemetry.Begin(c.ctx, "fetch")
 	data, err := c.backend.ReadPages(c.ctx, file, pages)
+	sp.End()
 	if err != nil {
 		c.err = err
 		return nil, err

@@ -1,0 +1,69 @@
+package lbs
+
+import (
+	"repro/internal/pir"
+	"repro/internal/telemetry"
+)
+
+// WithTelemetry registers this server's pool, routing and scan-accounting
+// series with reg, labeled by database name. Every exported quantity is a
+// function of the adversary-visible workload shape — batch sizes, file
+// capabilities, read counts — never of which pages were requested, so the
+// metrics leak nothing the LBS could not already observe (Theorem 1).
+func WithTelemetry(reg *telemetry.Registry, db string) ServerOption {
+	return func(s *Server) {
+		s.telReg, s.telDB = reg, db
+	}
+}
+
+// EnableTelemetry wires an already-constructed server to reg (the path for
+// servers built without options). Idempotent per registry: series are
+// get-or-create, and the handles are simply replaced.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry, db string) {
+	s.telReg, s.telDB = reg, db
+	s.initTelemetry()
+}
+
+// initTelemetry resolves the metric handles once, after the stores exist.
+// All hot-path handles are nil-safe, so a server without telemetry records
+// into nil and pays one predictable branch per event.
+func (s *Server) initTelemetry() {
+	reg, db := s.telReg, s.telDB
+	if reg == nil {
+		return
+	}
+	dbl := telemetry.L("db", db)
+	workers := s.workers
+	reg.GaugeFunc("privsp_pool_workers",
+		"size of the per-database PIR worker pool",
+		func() float64 { return float64(workers) }, dbl)
+	reg.GaugeFunc("privsp_pool_busy",
+		"PIR page reads executing right now",
+		func() float64 { return float64(s.busy.Load()) }, dbl)
+	reg.GaugeFunc("privsp_pool_queued",
+		"PIR page reads waiting for a pool slot",
+		func() float64 { return float64(s.queued.Load()) }, dbl)
+	s.poolWait = reg.Histogram("privsp_pool_wait_seconds",
+		"time a PIR read spent waiting for a pool slot (0 when a slot was free)",
+		telemetry.Seconds(), dbl)
+	s.routeWhole = reg.Counter("privsp_pir_route_total",
+		"fetch batches by serving route", dbl, telemetry.L("route", "single_scan"))
+	s.routeFanOut = reg.Counter("privsp_pir_route_total",
+		"fetch batches by serving route", dbl, telemetry.L("route", "fan_out"))
+	s.routeSerial = reg.Counter("privsp_pir_route_total",
+		"fetch batches by serving route", dbl, telemetry.L("route", "serial"))
+	for _, f := range s.db.Files {
+		hs := s.stores[f.Name()]
+		ss, ok := hs.store.(pir.ScanStats)
+		if !ok {
+			continue
+		}
+		fl := telemetry.L("file", f.Name())
+		reg.CounterFunc("privsp_pir_pages_scanned_total",
+			"pages-equivalent server work performed by the PIR store (scan amortization numerator)",
+			func() uint64 { p, _ := ss.ScanStats(); return p }, dbl, fl)
+		reg.CounterFunc("privsp_pir_scans_total",
+			"server passes performed by the PIR store",
+			func() uint64 { _, n := ss.ScanStats(); return n }, dbl, fl)
+	}
+}

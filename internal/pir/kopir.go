@@ -30,6 +30,8 @@ type KOPIR struct {
 	n    *big.Int // public modulus
 	p, q *big.Int // client-held factorization
 	bits int      // modulus size
+
+	scanCounters
 }
 
 // NewKOPIR builds the scheme over the pages of src with the given modulus
@@ -269,6 +271,10 @@ func (k *KOPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) er
 			}
 		}
 	}
+	// One database-equivalent pass per batch: in the real protocol the
+	// server exponentiates over the full s×t matrix for every query set
+	// (the row grouping above is a simulation shortcut, not visible work).
+	k.recordScan(uint64(k.numPages), 1)
 	return nil
 }
 

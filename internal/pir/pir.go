@@ -130,6 +130,7 @@ func materialize(src pagefile.Reader) ([][]byte, error) {
 // behind the interface.
 type Plain struct {
 	src pagefile.Reader
+	scanCounters
 }
 
 // NewPlain wraps a page source in a Plain store (use pagefile.SlicePages
@@ -142,6 +143,7 @@ func (p *Plain) Read(page int) ([]byte, error) {
 	if page < 0 || page >= p.src.NumPages() {
 		return nil, fmt.Errorf("pir: page %d of %d", page, p.src.NumPages())
 	}
+	p.recordScan(1, 1) // a plain read touches exactly the requested page
 	return p.src.Page(page)
 }
 

@@ -37,6 +37,8 @@ type XORPIR struct {
 	// so observers go through LastQueries/LastBatchQueries, which copy.
 	lastMu                 sync.Mutex
 	lastBatchA, lastBatchB [][]byte
+
+	scanCounters
 }
 
 // xorServer is one non-colluding replica holding the full plaintext file
@@ -186,6 +188,9 @@ func (x *XORPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) e
 		return err
 	}
 	x.b.arena.answerAll(sc.selsB, sc.accsB)
+	// Two full-file passes (one per replica) answered the whole batch,
+	// whatever its size — the quantity the amortization ratio tracks.
+	x.recordScan(2*uint64(x.numPages), 2)
 	for j := range pages {
 		acc := sc.accsA[j]
 		xorWords(acc, sc.accsB[j])

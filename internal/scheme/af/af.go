@@ -348,10 +348,10 @@ func Query(ctx context.Context, svc lbs.Service, sPt, tPt geom.Point) (*base.Res
 	}
 	for ; clusters < maxClusters; clusters++ {
 		conn.BeginRound()
-		for i := 0; i < hdr.ClusterPages; i++ {
-			if err := base.DummyFetch(conn, base.FileData); err != nil {
-				return nil, err
-			}
+		// One batched dummy retrieval, like a real cluster fetch: padding
+		// rounds must match real rounds in batch shape, not just trace.
+		if err := base.DummyFetchMany(conn, base.FileData, hdr.ClusterPages); err != nil {
+			return nil, err
 		}
 	}
 	conn.AddClientTime(tm.Total())

@@ -117,6 +117,19 @@ func DummyFetch(conn *lbs.Conn, file string) error {
 	return err
 }
 
+// DummyFetchMany performs one plan-padding retrieval of k pages as a single
+// batched request — the padding twin of a real k-page cluster fetch. A
+// padding round must mirror not just the recorded trace (file and count)
+// but the batch shape of a real round: k single-page requests where a real
+// round ships one k-page batch would let a network observer distinguish
+// padded from real rounds by frame boundaries alone, even with identical
+// traces. The page indices are arbitrary (the PIR layer hides them), so
+// page 0 is requested k times.
+func DummyFetchMany(conn *lbs.Conn, file string, k int) error {
+	_, err := conn.FetchMany(file, make([]int, k))
+	return err
+}
+
 // LocatePair maps the query endpoints to their host regions via the
 // header's KD-tree (round 1 client-side work).
 func LocatePair(hdr *Header, s, t geom.Point) (kdtree.RegionID, kdtree.RegionID) {

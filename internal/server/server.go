@@ -19,11 +19,12 @@ import (
 	"net"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/lbs"
 	"repro/internal/pagefile"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -41,19 +42,20 @@ type Options struct {
 	TraceHistory int
 	// Logf receives serving events; nil disables logging.
 	Logf func(format string, args ...any)
+	// Telemetry receives every serving metric this daemon records; nil
+	// means a private registry (read it back with Server.Telemetry). The
+	// registry is per-daemon, not process-global, so two servers in one
+	// process — common in tests — never share series.
+	Telemetry *telemetry.Registry
 }
 
-// hosted is one served database plus its counters and recent traces.
+// hosted is one served database plus its metric handles and recent traces.
+// All serving counters live in the telemetry registry (see hostedMetrics);
+// Stats is a view over them, never an independent tally.
 type hosted struct {
-	name    string
-	srv     *lbs.Server
-	queries atomic.Uint64
-	pages   atomic.Uint64
-	// Cancellation accounting: queries open right now, queries the client
-	// cancelled (context cancelled vs deadline expired).
-	inflight  atomic.Int32
-	cancelled atomic.Uint64
-	deadline  atomic.Uint64
+	name string
+	srv  *lbs.Server
+	m    hostedMetrics // nil-safe handles; zero value records into nothing
 
 	mu     sync.Mutex
 	traces []string // ring of the most recent completed query traces
@@ -91,9 +93,10 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
-	wg          sync.WaitGroup
-	activeConns atomic.Int32
-	totalConns  atomic.Uint64
+	wg sync.WaitGroup
+
+	tel *telemetry.Registry
+	m   serverMetrics
 }
 
 // New prepares a daemon with no databases hosted yet.
@@ -110,15 +113,25 @@ func New(opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:       opts,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		dbs:        map[string]*hosted{},
 		conns:      map[net.Conn]struct{}{},
+		tel:        opts.Telemetry,
 	}
+	s.initTelemetry()
+	return s
 }
+
+// Telemetry returns the registry this daemon records into — the source the
+// admin endpoint scrapes and Stats views.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Host registers a built database under the given name (clients select it
 // in their Hello). The database is served with PlainStores behind a worker
@@ -144,7 +157,8 @@ func (s *Server) HostLBS(name string, lsrv *lbs.Server) error {
 	if _, dup := s.dbs[name]; dup {
 		return fmt.Errorf("server: database %q already hosted", name)
 	}
-	s.dbs[name] = &hosted{name: name, srv: lsrv, limit: s.opts.TraceHistory}
+	lsrv.EnableTelemetry(s.tel, name)
+	s.dbs[name] = s.newHosted(name, lsrv)
 	s.order = append(s.order, name)
 	return nil
 }
@@ -214,12 +228,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.totalConns.Add(1)
-		s.activeConns.Add(1)
+		s.m.connsTotal.Inc()
+		s.m.connsActive.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer s.activeConns.Add(-1)
+			defer s.m.connsActive.Dec()
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, conn)
@@ -330,11 +344,22 @@ func (s *Server) answerFetch(ctx context.Context, h *hosted, sc *fetchScratch) (
 		}
 		sc.idx[i] = int(p)
 	}
-	if err := h.srv.ReadPagesInto(ctx, sc.req.File, sc.idx, sc.bufs); err != nil {
+	h.m.batchSize.Observe(int64(len(sc.req.Pages)))
+	scan := telemetry.Begin(ctx, "scan")
+	t0 := time.Now()
+	err = h.srv.ReadPagesInto(ctx, sc.req.File, sc.idx, sc.bufs)
+	h.m.scanLat.Observe(int64(time.Since(t0)))
+	scan.End()
+	if err != nil {
 		return nil, err
 	}
+	enc := telemetry.Begin(ctx, "encode")
+	t0 = time.Now()
 	sc.enc.Reset()
-	return wire.Pages{Pages: sc.bufs}.EncodeTo(sc.enc), nil
+	payload := wire.Pages{Pages: sc.bufs}.EncodeTo(sc.enc)
+	h.m.encodeLat.Observe(int64(time.Since(t0)))
+	enc.End()
+	return payload, nil
 }
 
 // Traces returns the retained server-observed traces of the named database,
@@ -356,7 +381,9 @@ func (s *Server) Traces(db string) []string {
 	return out
 }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters as a pure view over the telemetry
+// registry: every number here is read from the same series /metrics
+// exports, so the wire stats and a scrape can never disagree.
 func (s *Server) Stats() wire.ServerStats {
 	s.mu.Lock()
 	order := append([]string(nil), s.order...)
@@ -366,19 +393,19 @@ func (s *Server) Stats() wire.ServerStats {
 	}
 	s.mu.Unlock()
 	st := wire.ServerStats{
-		ActiveConns: uint32(s.activeConns.Load()),
-		TotalConns:  s.totalConns.Load(),
+		ActiveConns: uint32(max(s.m.connsActive.Value(), 0)),
+		TotalConns:  s.m.connsTotal.Value(),
 	}
 	for _, h := range dbs {
 		workers, busy, queued := h.srv.PoolStats()
 		st.Databases = append(st.Databases, wire.DBStats{
 			Name:        h.name,
 			Scheme:      h.srv.Database().Scheme,
-			Queries:     h.queries.Load(),
-			Pages:       h.pages.Load(),
-			InFlight:    uint32(max(h.inflight.Load(), 0)),
-			Cancelled:   h.cancelled.Load(),
-			Deadline:    h.deadline.Load(),
+			Queries:     h.m.queries.Value(),
+			Pages:       h.m.pages.Value(),
+			InFlight:    uint32(max(h.m.inflight.Value(), 0)),
+			Cancelled:   h.m.cancelCtx.Value(),
+			Deadline:    h.m.cancelDeadline.Value(),
 			Workers:     uint32(workers),
 			BusyWorkers: uint32(busy),
 			QueuedReads: uint32(queued),

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/wire"
@@ -66,6 +67,7 @@ type query struct {
 	reason atomic.Uint32
 
 	// Owned by the query goroutine:
+	start   time.Time
 	round   int
 	trace   strings.Builder
 	fetched uint64
@@ -114,6 +116,8 @@ func (ss *session) send(t wire.MsgType, qid uint32, payload []byte) error {
 	if err := ss.fw.WriteFrame(t, qid, payload); err != nil {
 		return err
 	}
+	ss.s.m.framesWritten.Inc()
+	ss.s.m.bytesWritten.Add(uint64(len(payload)) + wire.FrameOverhead)
 	return ss.bw.Flush()
 }
 
@@ -148,6 +152,8 @@ func (ss *session) run() {
 			}
 			return
 		}
+		ss.s.m.framesRead.Inc()
+		ss.s.m.bytesRead.Add(uint64(len(payload)) + wire.FrameOverhead)
 		ss.dispatch(t, qid, payload, bp)
 	}
 }
@@ -249,10 +255,10 @@ func (ss *session) beginQuery(qid uint32) {
 		return
 	}
 	qctx, qcancel := context.WithCancel(ss.ctx)
-	q := &query{id: qid, ctx: qctx, cancel: qcancel, inbox: make(chan sframe, 16)}
+	q := &query{id: qid, ctx: qctx, cancel: qcancel, inbox: make(chan sframe, 16), start: time.Now()}
 	ss.queries[qid] = q
 	ss.qmu.Unlock()
-	ss.db.inflight.Add(1)
+	ss.db.m.inflight.Inc()
 	ss.wg.Add(1)
 	go ss.runQuery(q)
 }
@@ -312,6 +318,7 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 	case wire.MsgNextRound:
 		// Fire-and-forget (one real round trip per round).
 		q.round++
+		ss.db.m.rounds.Inc()
 		fmt.Fprintf(&q.trace, "round %d:\n", q.round)
 		return false
 
@@ -352,8 +359,9 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 		tr := q.trace.String()
 		q.ended = true
 		ss.db.addTrace(tr)
-		ss.db.queries.Add(1)
-		ss.db.pages.Add(q.fetched)
+		ss.db.m.queries.Inc()
+		ss.db.m.pages.Add(q.fetched)
+		ss.db.m.queryLat.Observe(int64(time.Since(q.start)))
 		ss.send(wire.MsgQueryDone, q.id, wire.QueryDone{Trace: tr}.Encode())
 		return true
 
@@ -375,24 +383,27 @@ func (ss *session) finishQuery(q *query) {
 	ss.qmu.Lock()
 	delete(ss.queries, q.id)
 	ss.qmu.Unlock()
-	ss.db.inflight.Add(-1)
+	ss.db.m.inflight.Dec()
 	if q.ended {
 		return
 	}
 	switch q.reason.Load() {
 	case uint32(wire.CancelContext) + 1:
 		ss.db.addTrace(q.trace.String())
-		ss.db.cancelled.Add(1)
+		ss.db.m.cancelCtx.Inc()
 	case uint32(wire.CancelDeadline) + 1:
 		ss.db.addTrace(q.trace.String())
-		ss.db.deadline.Add(1)
+		ss.db.m.cancelDeadline.Inc()
 	case uint32(wire.CancelAbandon) + 1:
 		// A query that failed client-side, not a deliberate abort: its
-		// trace never completed and is not recorded, and no counter moves.
+		// trace never completed and is not recorded; only the telemetry
+		// reason counter moves (the wire stats ignore abandons, as ever).
+		ss.db.m.cancelAbandon.Inc()
 	default:
 		// Server-initiated: shutdown cancelled the in-flight query. The
 		// trace is discarded and the client learns promptly (best-effort —
 		// the connection may already be gone).
+		ss.db.m.cancelServer.Inc()
 		if ss.ctx.Err() != nil {
 			ss.sendErr(q.id, "query cancelled: server shutting down")
 		}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// QueryTrace is the per-query round tracer: it records the span timings of
+// one query's protocol phases — connect, header, per-round fetch, scan,
+// encode — as the query's context flows through the layers. Span NAMES are
+// fixed protocol phases and span TIMINGS are wall-clock durations; both
+// are functions of the adversary-visible execution (Theorem 1 already
+// concedes the adversary a stopwatch), so tracing leaks nothing the trace
+// itself does not.
+//
+// Attach one to a query's context with WithQueryTrace; instrumented layers
+// pick it up with Begin, which is a no-op (and allocation-free) when no
+// trace rides the context.
+type QueryTrace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// Span is one timed phase of a query.
+type Span struct {
+	Name  string        // fixed phase name: "connect", "header", "fetch", "scan", "encode"
+	Start time.Duration // offset from the trace's first span
+	Dur   time.Duration
+}
+
+// NewQueryTrace returns an empty tracer.
+func NewQueryTrace() *QueryTrace { return &QueryTrace{} }
+
+// add records one finished span. Concurrency-safe: in-process deployments
+// run client protocol and server scan spans on different goroutines under
+// one context.
+func (t *QueryTrace) add(name string, start time.Time) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.t0.IsZero() {
+		t.t0 = start
+	}
+	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.t0), Dur: now.Sub(start)})
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *QueryTrace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the trace for logs: one "name start+dur" token per span.
+func (t *QueryTrace) String() string {
+	var b strings.Builder
+	for i, sp := range t.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s@%s+%s", sp.Name, sp.Start.Round(time.Microsecond), sp.Dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// traceKey is the context key QueryTrace rides under.
+type traceKey struct{}
+
+// WithQueryTrace attaches a tracer to a query context. Every instrumented
+// layer the context reaches — client dial, lbs protocol rounds, server PIR
+// scans for in-process deployments — records its spans into it.
+func WithQueryTrace(ctx context.Context, t *QueryTrace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's tracer, or nil.
+func TraceFrom(ctx context.Context) *QueryTrace {
+	t, _ := ctx.Value(traceKey{}).(*QueryTrace)
+	return t
+}
+
+// ActiveSpan is an in-flight span handle. The zero value (no trace on the
+// context) is inert; End on it is free.
+type ActiveSpan struct {
+	t     *QueryTrace
+	name  string
+	start time.Time
+}
+
+// Begin starts a span if ctx carries a tracer; otherwise it returns an
+// inert handle without reading the clock. Allocation-free either way, so
+// it is safe on zero-alloc serving paths.
+func Begin(ctx context.Context, name string) ActiveSpan {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: t, name: name, start: time.Now()}
+}
+
+// End completes the span.
+func (s ActiveSpan) End() {
+	if s.t != nil {
+		s.t.add(s.name, s.start)
+	}
+}

@@ -116,6 +116,10 @@ const ControlID uint32 = 0
 // frameHdrLen is the fixed frame header size: length + type + query ID.
 const frameHdrLen = 9
 
+// FrameOverhead is frameHdrLen exported: the fixed per-frame cost the
+// serving layer adds to a payload when accounting wire bytes.
+const FrameOverhead = frameHdrLen
+
 // WriteFrame emits one frame addressed to the given query ID (ControlID for
 // connection-level traffic). Hot serving loops should hold a FrameWriter
 // instead: the header array here escapes through the io.Writer, costing one
