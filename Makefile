@@ -12,12 +12,12 @@ vet:
 	$(GO) vet ./...
 
 # Full benchmark sweep over the oblivious-read serving path; writes
-# machine-readable BENCH_6.json (see bench/run.sh and README "Performance").
+# machine-readable BENCH_7.json (see bench/run.sh and README "Performance").
 bench:
 	./bench/run.sh
 
 # One-iteration benchmark pass: guards the benchmarks against bit-rot and
-# still emits BENCH_6.json (CI runs this and uploads the JSON artifact, so
+# still emits BENCH_7.json (CI runs this and uploads the JSON artifact, so
 # the perf trajectory is tracked PR over PR).
 bench-smoke:
 	BENCH_SMOKE=1 ./bench/run.sh

@@ -10,6 +10,12 @@
 // entries, with *_seconds families converted to milliseconds. That puts
 // the serving-path latency distribution — not just kernel microbenchmarks —
 // into the PR-over-PR record.
+//
+// With repeatable -amortize N=FILE, each FILE is a scrape from a serveload
+// run at N concurrent connections against single-scan stores; the scan
+// scheduler's fetch/scan counters are summed across databases into a
+// "scan_amortization" section, so the record shows how far below one
+// scan per fetch the cross-connection batching drives the serving cost.
 package main
 
 import (
@@ -30,19 +36,56 @@ type result struct {
 }
 
 type output struct {
-	Issue      int       `json:"issue"`
-	GoOS       string    `json:"goos"`
-	GoArch     string    `json:"goarch"`
-	CPU        string    `json:"cpu,omitempty"`
-	Benchmarks []result  `json:"benchmarks"`
-	Serving    []serving `json:"serving,omitempty"`
+	Issue        int            `json:"issue"`
+	GoOS         string         `json:"goos"`
+	GoArch       string         `json:"goarch"`
+	CPU          string         `json:"cpu,omitempty"`
+	Benchmarks   []result       `json:"benchmarks"`
+	Serving      []serving      `json:"serving,omitempty"`
+	Amortization []amortization `json:"scan_amortization,omitempty"`
+}
+
+// amortization summarizes one serveload run against single-scan stores:
+// the scheduler's fetch and merged-scan totals summed over databases, and
+// their ratio — below 1.0 means concurrent connections shared scans.
+type amortization struct {
+	Connections   int     `json:"connections"`
+	Fetches       uint64  `json:"fetches"`
+	Scans         uint64  `json:"scans"`
+	ScansPerFetch float64 `json:"scans_per_fetch"`
+}
+
+// amortizeFlag collects repeatable -amortize N=FILE arguments.
+type amortizeFlag []struct {
+	conns int
+	file  string
+}
+
+func (a *amortizeFlag) String() string { return fmt.Sprint(*a) }
+
+func (a *amortizeFlag) Set(v string) error {
+	connsStr, file, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want N=FILE, got %q", v)
+	}
+	conns, err := strconv.Atoi(connsStr)
+	if err != nil || conns < 1 {
+		return fmt.Errorf("bad connection count in %q", v)
+	}
+	*a = append(*a, struct {
+		conns int
+		file  string
+	}{conns, file})
+	return nil
 }
 
 func main() {
 	metricsFile := flag.String("metrics", "", "Prometheus-text scrape to fold into the \"serving\" section")
+	var amortize amortizeFlag
+	flag.Var(&amortize, "amortize", "N=FILE: scrape from an N-connection single-scan serveload run (repeatable)")
 	flag.Parse()
 
-	out := output{Issue: 6, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	out := output{Issue: 7, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -92,6 +135,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: -metrics %s: %v\n", *metricsFile, err)
 			os.Exit(1)
 		}
+	}
+	for _, a := range amortize {
+		raw, err := os.ReadFile(a.file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		am, err := parseAmortization(string(raw), a.conns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -amortize %d=%s: %v\n", a.conns, a.file, err)
+			os.Exit(1)
+		}
+		out.Amortization = append(out.Amortization, am)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -110,7 +110,13 @@ func parseServing(scrape string) ([]serving, error) {
 
 // quantile estimates the q-quantile from cumulative buckets by linear
 // interpolation inside the landing bucket (histogram_quantile semantics).
-// The +Inf bucket clamps to the last finite bound.
+// Two edge cases use the bucket upper bound instead of interpolating, so
+// the summary agrees with telemetry.HistogramSnapshot.Quantile: when the
+// rank lands in the first occupied bucket there is no observed mass below
+// it, and interpolating from the lower bound invents values that were never
+// recorded (an all-ones histogram would report p50=0.5, a single sample
+// would report half its bound). The +Inf bucket clamps to the last finite
+// bound.
 func quantile(hs *histSeries, q float64) float64 {
 	total := hs.cumul[len(hs.cumul)-1]
 	if total == 0 {
@@ -129,12 +135,42 @@ func quantile(hs *histSeries, q float64) float64 {
 		if math.IsInf(hi, 1) {
 			return lo
 		}
-		if c == cumBefore {
+		if cumBefore == 0 || c == cumBefore {
 			return hi
 		}
 		return lo + (hi-lo)*(rank-cumBefore)/(c-cumBefore)
 	}
 	return hs.uppers[len(hs.uppers)-1]
+}
+
+// parseAmortization sums the scan scheduler's fetch and merged-scan
+// counters across databases in one scrape and reports the ratio for a run
+// at `conns` concurrent connections. A scrape without the scheduler
+// families is an error — it means the run was not against single-scan
+// stores and the amortization number would be vacuous.
+func parseAmortization(scrape string, conns int) (amortization, error) {
+	am := amortization{Connections: conns}
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, value, err := parseSample(line)
+		if err != nil {
+			return am, fmt.Errorf("line %q: %v", line, err)
+		}
+		switch name {
+		case "privsp_scan_sched_fetches_total":
+			am.Fetches += uint64(value)
+		case "privsp_scan_sched_scans_total":
+			am.Scans += uint64(value)
+		}
+	}
+	if am.Fetches == 0 {
+		return am, fmt.Errorf("no privsp_scan_sched_fetches_total samples — scheduler not engaged (run serveload with -pir xorpir)")
+	}
+	am.ScansPerFetch = float64(am.Scans) / float64(am.Fetches)
+	return am, nil
 }
 
 // parseSample splits one exposition line into name, labels and value.

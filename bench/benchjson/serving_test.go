@@ -1,0 +1,171 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// scrapeOne renders a registry to Prometheus text and extracts the single
+// histogram summary parseServing produces from it.
+func scrapeOne(t *testing.T, reg *telemetry.Registry, metric string) serving {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := parseServing(b.String())
+	if err != nil {
+		t.Fatalf("parseServing: %v\nscrape:\n%s", err, b.String())
+	}
+	for _, s := range out {
+		if s.Metric == metric {
+			return s
+		}
+	}
+	t.Fatalf("metric %s not in parsed output %+v\nscrape:\n%s", metric, out, b.String())
+	return serving{}
+}
+
+// TestQuantileFirstOccupiedBucket pins the landing-bucket edge case against
+// the live telemetry histogram: when all mass sits in one bucket there is
+// nothing to interpolate against, and the summary must report the bucket
+// bound exactly as telemetry.HistogramSnapshot.Quantile does. The old
+// interpolation assumed mass reached down to the bucket's lower bound, so
+// an all-ones batch-size histogram reported p50=0.5 and p99=0.99 — sizes
+// that were never observed.
+func TestQuantileFirstOccupiedBucket(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("test_batch_queries", "t", telemetry.HistogramOpts{})
+	for i := 0; i < 1000; i++ {
+		h.Observe(1)
+	}
+	snap := h.Snapshot()
+	s := scrapeOne(t, reg, "test_batch_queries")
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, q := range []struct {
+		key string
+		q   float64
+	}{{"p50", 0.50}, {"p99", 0.99}} {
+		want := snap.Quantile(q.q)
+		if got := s.Metrics[q.key]; got != want {
+			t.Errorf("%s = %v, want %v (telemetry snapshot quantile)", q.key, got, want)
+		}
+	}
+}
+
+// TestQuantileSingleSample: one observation must summarize to its own
+// bucket bound at every quantile, matching the snapshot exactly — not half
+// the bound, which is what interpolating from zero produced.
+func TestQuantileSingleSample(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("test_single", "t", telemetry.HistogramOpts{})
+	h.Observe(7)
+	snap := h.Snapshot()
+	s := scrapeOne(t, reg, "test_single")
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	want := snap.Quantile(0.5) // 7: buckets below 16 are exact
+	if want != 7 {
+		t.Fatalf("telemetry snapshot quantile = %v, want 7", want)
+	}
+	if got := s.Metrics["p50"]; got != want {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	if got := s.Metrics["p99"]; got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileSecondsScaling: a timing histogram is exported in seconds
+// and summarized in milliseconds; the first-occupied-bucket rule must
+// survive the unit conversion. All observations are an identical duration,
+// so p50_ms and p99_ms must equal the snapshot's bucket bound, scaled.
+func TestQuantileSecondsScaling(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "t", telemetry.Seconds())
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(2 * time.Millisecond))
+	}
+	snap := h.Snapshot()
+	s := scrapeOne(t, reg, "test_latency_seconds")
+	wantMS := snap.Quantile(0.5) * 1e-9 * 1e3 // ns bound -> seconds -> ms
+	for _, key := range []string{"p50_ms", "p99_ms"} {
+		got, ok := s.Metrics[key]
+		if !ok {
+			t.Fatalf("seconds family missing %s: %+v", key, s.Metrics)
+		}
+		if math.Abs(got-wantMS) > 1e-9*wantMS {
+			t.Errorf("%s = %v, want %v", key, got, wantMS)
+		}
+	}
+}
+
+// TestParseAmortization: the scheduler counters sum across db label sets,
+// and a scrape without them (plain stores) is rejected rather than
+// silently reported as zero scans per fetch.
+func TestParseAmortization(t *testing.T) {
+	scrape := `# HELP privsp_scan_sched_fetches_total t
+# TYPE privsp_scan_sched_fetches_total counter
+privsp_scan_sched_fetches_total{db="CI"} 120
+privsp_scan_sched_fetches_total{db="LM"} 80
+# TYPE privsp_scan_sched_scans_total counter
+privsp_scan_sched_scans_total{db="CI"} 30
+privsp_scan_sched_scans_total{db="LM"} 20
+privsp_server_queries_total{db="CI"} 10
+`
+	am, err := parseAmortization(scrape, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := amortization{Connections: 8, Fetches: 200, Scans: 50, ScansPerFetch: 0.25}
+	if am != want {
+		t.Errorf("got %+v, want %+v", am, want)
+	}
+	if _, err := parseAmortization("privsp_server_queries_total 5\n", 1); err == nil {
+		t.Error("scrape without scheduler families accepted")
+	}
+}
+
+// TestQuantileInterpolatesWithinLandingBucket: once mass exists below the
+// landing bucket, interpolation is back in play. The scrape elides empty
+// buckets, so the interpolation range runs from the previous OCCUPIED
+// bound up to the landing bucket's bound; the estimate must stay inside
+// that range and never exceed the snapshot quantile (the bucket's
+// inclusive upper bound).
+func TestQuantileInterpolatesWithinLandingBucket(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("test_spread", "t", telemetry.HistogramOpts{})
+	// Mass in buckets 1, 4 and 9; p50 lands in bucket 4 with mass below.
+	for i := 0; i < 30; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(4)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(9)
+	}
+	snap := h.Snapshot()
+	s := scrapeOne(t, reg, "test_spread")
+	hi := snap.Quantile(0.5)
+	if hi != 4 {
+		t.Fatalf("telemetry p50 = %v, want 4", hi)
+	}
+	got := s.Metrics["p50"]
+	if got <= 1 || got > hi {
+		t.Errorf("p50 = %v, want within interpolation range (1, %v]", got, hi)
+	}
+	// p99 lands in the top occupied bucket with mass below: same bounds,
+	// running up from the previous occupied bound 4.
+	hi99 := snap.Quantile(0.99)
+	if got := s.Metrics["p99"]; got <= 4 || got > hi99 {
+		t.Errorf("p99 = %v, want within interpolation range (4, %v]", got, hi99)
+	}
+}

@@ -8,6 +8,11 @@
 #
 #   ./bench/metrics_smoke.sh
 set -eu
+# pipefail so a daemon crash mid-pipe ("$bin" ... | tee) can't be masked by
+# a succeeding tail stage; guarded because not every /bin/sh has it.
+if (set -o pipefail) 2>/dev/null; then
+	set -o pipefail
+fi
 cd "$(dirname "$0")/.."
 
 port=$((21000 + $$ % 9000))
@@ -19,10 +24,19 @@ exported=$(mktemp -t exported.XXXXXX)
 cataloged=$(mktemp -t cataloged.XXXXXX)
 pid=""
 cleanup() {
-	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	if [ -n "$pid" ]; then
+		kill "$pid" 2>/dev/null || true
+		# Reap before deleting the binary: an unreaped daemon could still
+		# be writing its log, and a killed-but-running one would leak past
+		# the script's exit.
+		wait "$pid" 2>/dev/null || true
+		pid=""
+	fi
 	rm -f "$bin" "$dlog" "$scrape" "$exported" "$cataloged"
 }
 trap cleanup EXIT
+trap 'cleanup; trap - INT; kill -INT $$' INT
+trap 'cleanup; trap - TERM; kill -TERM $$' TERM
 
 go build -o "$bin" ./cmd/privspd
 "$bin" -preset Oldenburg -scale 0.05 -schemes CI,LM \

@@ -3,28 +3,39 @@
 # single-scan multi-query XORPIR path, the single-read stores, and the
 # end-to-end worker-pool BatchRead — plus a short serving-path load
 # (bench/serveload: real daemon, real wire protocol, loopback), and
-# distills both into machine-readable BENCH_6.json: pages/s, ns/op, B/op,
-# allocs/op per benchmark, and per-scheme serving latency histograms
-# (p50/p99 ms) from the daemon's own telemetry. The performance trajectory
-# stays comparable PR over PR.
+# distills both into machine-readable BENCH_7.json: pages/s, ns/op, B/op,
+# allocs/op per benchmark, per-scheme serving latency histograms
+# (p50/p99 ms) from the daemon's own telemetry, and a scan_amortization
+# section from single-scan (XOR PIR) runs at 1, 8 and 32 concurrent
+# connections — scans_per_fetch below 1.0 is the scan scheduler merging
+# fetches from different connections into shared scans. The performance
+# trajectory stays comparable PR over PR.
 #
-#   ./bench/run.sh                 # full run, writes BENCH_6.json
+#   ./bench/run.sh                 # full run, writes BENCH_7.json
 #   BENCH_SMOKE=1 ./bench/run.sh   # one iteration each: bit-rot guard (CI)
 #   BENCH_TIME=3s ./bench/run.sh   # longer per-benchmark budget
 #   BENCH_OUT=out.json ./bench/run.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_6.json}
+out=${BENCH_OUT:-BENCH_7.json}
 raw=$(mktemp)
 scrape=$(mktemp)
-trap 'rm -f "$raw" "$scrape"' EXIT
+amort1=$(mktemp)
+amort8=$(mktemp)
+amort32=$(mktemp)
+trap 'rm -f "$raw" "$scrape" "$amort1" "$amort8" "$amort32"' EXIT
 
 benchtime=${BENCH_TIME:-1s}
 loadqueries=${BENCH_LOAD_QUERIES:-25}
+# 6 queries/conn: the largest sweep every scheme completes at scale 0.08 —
+# AF's per-query cluster budget (8) is exhausted by some endpoint pairs
+# that deeper sweeps reach.
+amortqueries=${BENCH_AMORT_QUERIES:-6}
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
 	benchtime=1x
 	loadqueries=3
+	amortqueries=2
 fi
 
 go test ./internal/pir/ -run '^$' \
@@ -36,5 +47,20 @@ go test . -run '^$' -bench 'BenchmarkBatchRead$' \
 
 go run ./bench/serveload -queries "$loadqueries" >"$scrape"
 
-go run ./bench/benchjson -metrics "$scrape" <"$raw" >"$out"
+# Scan amortization: the same serving path on single-scan XOR PIR stores,
+# where the scheduler can merge concurrent connections into shared scans.
+# One connection is the baseline (every fetch pays its own scan); 8 and 32
+# show the batching win. GOMAXPROCS is pinned up because batching needs
+# genuinely parallel execution: on a 1-core runner GOMAXPROCS=1 runs each
+# microsecond scan to completion unpreempted, so fetches serialize
+# perfectly and no merge opportunity can form — 8 procs emulate the
+# multi-core serving tier the scheduler exists for.
+amortprocs=${BENCH_AMORT_PROCS:-8}
+GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 1 -queries "$amortqueries" >"$amort1"
+GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 8 -queries "$amortqueries" >"$amort8"
+GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 32 -queries "$amortqueries" >"$amort32"
+
+go run ./bench/benchjson -metrics "$scrape" \
+	-amortize 1="$amort1" -amortize 8="$amort8" -amortize 32="$amort32" \
+	<"$raw" >"$out"
 echo "bench: wrote $out"

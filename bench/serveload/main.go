@@ -3,8 +3,15 @@
 // them on a loopback daemon, runs a fixed batch of remote queries per
 // scheme through the real wire protocol, and writes the daemon's
 // Prometheus-text /metrics scrape to stdout. bench/run.sh feeds that
-// scrape to `benchjson -metrics` so BENCH_6.json carries the serving-path
+// scrape to `benchjson -metrics` so BENCH_7.json carries the serving-path
 // latency histograms (p50/p99 per scheme) next to the kernel benchmarks.
+//
+// With -conns N, each scheme's query batch is fired from N concurrent
+// connections; with -pir xorpir the files are hosted on single-scan XOR
+// PIR stores, which engages the cross-connection scan scheduler. Together
+// they measure scan amortization: run.sh scrapes the scheduler's
+// fetch/scan counters at 1, 8 and 32 connections and benchjson -amortize
+// folds them into the scan_amortization section of the benchmark record.
 package main
 
 import (
@@ -15,9 +22,13 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/pir"
 	"repro/internal/server"
 	"repro/privsp"
 )
@@ -25,20 +36,46 @@ import (
 func main() {
 	schemes := flag.String("schemes", "CI,PI,HY,AF,LM", "comma-separated schemes to host and load")
 	scale := flag.Float64("scale", 0.08, "Oldenburg subgraph scale")
-	queries := flag.Int("queries", 10, "queries per scheme")
+	queries := flag.Int("queries", 10, "queries per scheme per connection")
+	conns := flag.Int("conns", 1, "concurrent connections per scheme")
+	pirStore := flag.String("pir", "plain", "page store class: plain or xorpir (single-scan, scheduler-batched)")
+	scanWindow := flag.Duration("scan-window", 0, "scan-scheduler batching window (0 = server default)")
+	scanCap := flag.Int("scan-cap", 0, "scan-scheduler batch page cap (0 = server default)")
 	seed := flag.Int64("seed", 1, "network generation seed")
 	flag.Parse()
 	log.SetPrefix("serveload: ")
 	log.SetFlags(0)
 
-	if err := run(*schemes, *scale, *queries, *seed); err != nil {
+	stores, err := storeFactory(*pirStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*schemes, *scale, *queries, *conns, *seed, server.Options{
+		Stores:       stores,
+		ScanWindow:   *scanWindow,
+		ScanBatchCap: *scanCap,
+	}); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(schemes string, scale float64, queries int, seed int64) error {
+func storeFactory(name string) (lbs.StoreFactory, error) {
+	switch name {
+	case "", "plain":
+		return nil, nil
+	case "xorpir":
+		return func(f pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(f) }, nil
+	default:
+		return nil, fmt.Errorf("unknown -pir store %q (use plain or xorpir)", name)
+	}
+}
+
+func run(schemes string, scale float64, queries, conns int, seed int64, opts server.Options) error {
+	if conns < 1 {
+		conns = 1
+	}
 	net0 := privsp.Generate(privsp.Oldenburg, scale, seed)
-	srv := server.New(server.Options{})
+	srv := server.New(opts)
 	var names []string
 	for _, name := range strings.Split(schemes, ",") {
 		name = strings.TrimSpace(name)
@@ -70,22 +107,25 @@ func run(schemes string, scale float64, queries int, seed int64) error {
 
 	n := privsp.NodeID(net0.NumNodes())
 	for _, name := range names {
-		remote, err := privsp.DialDatabase(ln.Addr().String(), name)
-		if err != nil {
-			return fmt.Errorf("dialing %s: %v", name, err)
-		}
 		start := time.Now()
-		for i := 0; i < queries; i++ {
-			s := privsp.NodeID(i*7) % n
-			d := privsp.NodeID(i*13+5) % n
-			if _, err := remote.ShortestPath(context.Background(),
-				net0.NodePoint(s), net0.NodePoint(d)); err != nil {
-				remote.Close()
-				return fmt.Errorf("%s query %d: %v", name, i, err)
+		var wg sync.WaitGroup
+		errs := make(chan error, conns)
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				errs <- load(ln.Addr().String(), name, net0, n, queries, c)
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return err
 			}
 		}
-		remote.Close()
-		log.Printf("%s: %d queries in %v", name, queries, time.Since(start).Round(time.Millisecond))
+		log.Printf("%s: %d conns x %d queries in %v", name, conns, queries,
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	// Let the daemon's per-query finish accounting (which runs after the
@@ -105,4 +145,24 @@ func run(schemes string, scale float64, queries int, seed int64) error {
 	}
 
 	return srv.Telemetry().WritePrometheus(os.Stdout)
+}
+
+// load runs one connection's share of the batch: `queries` shortest-path
+// queries over endpoints decorrelated per connection, so concurrent
+// connections hit overlapping rounds with distinct selectors.
+func load(addr, name string, net0 *privsp.Network, n privsp.NodeID, queries, conn int) error {
+	remote, err := privsp.DialDatabase(addr, name)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %v", name, err)
+	}
+	defer remote.Close()
+	for i := 0; i < queries; i++ {
+		s := privsp.NodeID(i*7+conn*11) % n
+		d := privsp.NodeID(i*13+conn*3+5) % n
+		if _, err := remote.ShortestPath(context.Background(),
+			net0.NodePoint(s), net0.NodePoint(d)); err != nil {
+			return fmt.Errorf("%s conn %d query %d: %v", name, conn, i, err)
+		}
+	}
+	return nil
 }

@@ -50,6 +50,9 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/pir"
 	"repro/internal/server"
 	"repro/internal/wire"
 	"repro/privsp"
@@ -70,6 +73,9 @@ func main() {
 	landmarks := flag.Int("landmarks", 0, "LM anchors")
 	regions := flag.Int("regions", 0, "AF regions")
 	workers := flag.Int("workers", 0, "max concurrent PIR page reads per database (0 = 2x GOMAXPROCS)")
+	pirStore := flag.String("pir", "plain", "PIR store per hosted file: plain (reads delegate to the page file; PIR timing simulated analytically) or xorpir (real two-server XOR PIR scans; engages the cross-connection scan scheduler)")
+	scanWindow := flag.Duration("scan-window", 0, "scan scheduler batching window for single-scan stores (0 = 2ms default; lone queries are never delayed)")
+	scanCap := flag.Int("scan-cap", 0, "max pages answered by one merged scan (0 = 256 default)")
 	adminAddr := flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:6060; empty = disabled)")
 	pprofAddr := flag.String("pprof", "", "serve the admin endpoints on this additional address (historical alias of -admin)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
@@ -90,13 +96,20 @@ func main() {
 		Preset:    *preset,
 		NodesFile: *nodesFile,
 		EdgesFile: *edgesFile,
+		PIRStore:  *pirStore,
 		Explicit:  explicit,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Fatalf("privspd: %v", err)
 	}
 
-	srv := server.New(server.Options{Workers: *workers, Logf: log.Printf})
+	srv := server.New(server.Options{
+		Workers:      *workers,
+		Logf:         log.Printf,
+		Stores:       storeFactory(*pirStore),
+		ScanWindow:   *scanWindow,
+		ScanBatchCap: *scanCap,
+	})
 	if len(cfg.DBFiles) > 0 {
 		for _, path := range cfg.DBFiles {
 			start := time.Now()
@@ -212,6 +225,7 @@ type daemonConfig struct {
 	Preset    string
 	NodesFile string
 	EdgesFile string
+	PIRStore  string
 	// Explicit lists the flag names the user actually set (flag.Visit).
 	Explicit []string
 }
@@ -227,6 +241,11 @@ var buildOnlyFlags = map[string]bool{
 // validate rejects contradictory or unknown flag combinations with one
 // clear error, before any network is generated or container opened.
 func (c daemonConfig) validate() error {
+	switch c.PIRStore {
+	case "", "plain", "xorpir":
+	default:
+		return fmt.Errorf("unknown -pir store %q (use plain or xorpir)", c.PIRStore)
+	}
 	if len(c.DBFiles) > 0 {
 		var conflict []string
 		for _, name := range c.Explicit {
@@ -256,6 +275,15 @@ func (c daemonConfig) validate() error {
 		default:
 			return fmt.Errorf("unknown scheme %q in -schemes (use CI, PI, PI*, HY, LM, AF)", name)
 		}
+	}
+	return nil
+}
+
+// storeFactory maps the -pir flag (already validated) to an lbs.StoreFactory;
+// nil selects lbs.PlainStores.
+func storeFactory(name string) lbs.StoreFactory {
+	if name == "xorpir" {
+		return func(f pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(f) }
 	}
 	return nil
 }

@@ -97,6 +97,20 @@ func TestValidateFlagCombinations(t *testing.T) {
 			cfg: daemonConfig{DBFiles: []string{"ci.psdb"},
 				Explicit: []string{"db", "listen", "workers", "stats", "drain"}},
 		},
+		{
+			name: "xorpir store accepted",
+			cfg:  daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, PIRStore: "xorpir"},
+		},
+		{
+			name: "xorpir store with db path",
+			cfg: daemonConfig{DBFiles: []string{"ci.psdb"}, PIRStore: "xorpir",
+				Explicit: []string{"db", "pir", "scan-window", "scan-cap"}},
+		},
+		{
+			name:    "unknown pir store",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, PIRStore: "oram"},
+			wantErr: `unknown -pir store "oram"`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

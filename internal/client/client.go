@@ -92,10 +92,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 }
 
 // DialContext connects and performs the handshake under ctx. The context
-// governs the TCP connect and the Hello/Welcome exchange; if it carries no
-// deadline, Options.DialTimeout applies. A daemon that accepts the
-// connection but never completes the handshake fails the dial when the
-// budget expires.
+// governs the TCP connect and the Hello/Welcome exchange; the effective
+// budget is the SOONER of the caller's deadline and Options.DialTimeout — a
+// 50 ms caller deadline fails the dial in 50 ms, never the 10 s default,
+// and a caller deadline hours away still cannot hang the handshake past
+// DialTimeout. A daemon that accepts the connection but never completes the
+// handshake fails the dial when that budget expires.
 func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = wire.DefaultMaxFrame
@@ -103,11 +105,10 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = DefaultDialTimeout
 	}
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.DialTimeout)
-		defer cancel()
-	}
+	// WithTimeout never loosens an earlier deadline already on ctx, so this
+	// is min(caller deadline, DialTimeout) — not the default layered on top.
+	ctx, cancel := context.WithTimeout(ctx, opts.DialTimeout)
+	defer cancel()
 	sp := telemetry.Begin(ctx, "connect")
 	defer sp.End()
 	var d net.Dialer

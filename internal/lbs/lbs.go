@@ -196,11 +196,24 @@ type Server struct {
 	busy    atomic.Int32
 	queued  atomic.Int32
 
+	// Scan-scheduler tuning (see scheduler.go) and shared accounting. The
+	// fetch/scan tallies always run — atomics, no registry needed — so the
+	// amortization ratio is observable even on servers wired to telemetry
+	// after construction.
+	schedWindow  time.Duration
+	schedCap     int
+	schedFetches atomic.Uint64
+	schedScans   atomic.Uint64
+
 	// Telemetry handles (nil-safe; nil until WithTelemetry/EnableTelemetry).
 	telReg                               *telemetry.Registry
 	telDB                                string
 	poolWait                             *telemetry.Histogram
 	routeWhole, routeFanOut, routeSerial *telemetry.Counter
+	schedFlushLone, schedFlushWindow     *telemetry.Counter
+	schedFlushCap, schedFlushDeadline    *telemetry.Counter
+	schedFlushChain                      *telemetry.Counter
+	schedOccupancy                       *telemetry.Histogram
 }
 
 // hostedStore is one file's PIR store plus the serving capabilities probed
@@ -217,6 +230,9 @@ type hostedStore struct {
 	// cancellable) for stores that are NOT BatchStores: one stateful ORAM
 	// structure admits exactly one read at a time.
 	serial chan struct{}
+	// sched coalesces fetches from all connections into shared scans; set
+	// only for single-scan stores (see scheduler.go).
+	sched *scanScheduler
 }
 
 // ServerOption tunes a Server at construction.
@@ -244,10 +260,12 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		return nil, err
 	}
 	s := &Server{
-		db:      db,
-		model:   model,
-		stores:  map[string]*hostedStore{},
-		workers: 1,
+		db:          db,
+		model:       model,
+		stores:      map[string]*hostedStore{},
+		workers:     1,
+		schedWindow: DefaultScanWindow,
+		schedCap:    DefaultScanBatchCap,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -270,6 +288,9 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		}
 		if hs.batch == nil {
 			hs.serial = make(chan struct{}, 1)
+		}
+		if hs.whole && hs.batch != nil {
+			hs.sched = newScanScheduler(s, hs, f.Name())
 		}
 		s.stores[f.Name()] = hs
 	}
@@ -343,6 +364,23 @@ func (s *Server) ReadPages(ctx context.Context, file string, pages []int) ([][]b
 				return nil, fmt.Errorf("lbs: PIR fetch %s[%d]: %w", file, p, err)
 			}
 			out[i] = data
+		}
+		return out, nil
+	}
+
+	if hs.sched != nil {
+		// Single-scan store: the scan scheduler merges this batch with
+		// fetches from every other connection and answers them all in one
+		// pass (it acquires the pool slot itself).
+		s.routeWhole.Inc()
+		ps := hs.store.PageSize()
+		buf := make([]byte, len(pages)*ps)
+		out := make([][]byte, len(pages))
+		for i := range out {
+			out[i] = buf[i*ps : (i+1)*ps : (i+1)*ps]
+		}
+		if err := hs.sched.readInto(ctx, pages, out); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -426,6 +464,11 @@ func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, ds
 			copy(dst[i][:hs.store.PageSize()], data)
 		}
 		return nil
+	}
+
+	if hs.sched != nil {
+		s.routeWhole.Inc()
+		return hs.sched.readInto(ctx, pages, dst)
 	}
 
 	workers := s.workers

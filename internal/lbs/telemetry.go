@@ -52,6 +52,41 @@ func (s *Server) initTelemetry() {
 		"fetch batches by serving route", dbl, telemetry.L("route", "fan_out"))
 	s.routeSerial = reg.Counter("privsp_pir_route_total",
 		"fetch batches by serving route", dbl, telemetry.L("route", "serial"))
+
+	// Scan-scheduler families, registered eagerly for every server — a
+	// database whose stores never engage the scheduler still exports the
+	// full set at zero, so the presence or absence of a series can never
+	// become a side channel. All of them are functions of workload timing
+	// and batch shape, never of page contents (Theorem 1).
+	const flushHelp = "merged scans by what triggered the flush"
+	s.schedFlushLone = reg.Counter("privsp_scan_flush_total",
+		flushHelp, dbl, telemetry.L("reason", "lone"))
+	s.schedFlushWindow = reg.Counter("privsp_scan_flush_total",
+		flushHelp, dbl, telemetry.L("reason", "window"))
+	s.schedFlushCap = reg.Counter("privsp_scan_flush_total",
+		flushHelp, dbl, telemetry.L("reason", "cap"))
+	s.schedFlushDeadline = reg.Counter("privsp_scan_flush_total",
+		flushHelp, dbl, telemetry.L("reason", "deadline"))
+	s.schedFlushChain = reg.Counter("privsp_scan_flush_total",
+		flushHelp, dbl, telemetry.L("reason", "chain"))
+	s.schedOccupancy = reg.Histogram("privsp_scan_batch_queries",
+		"fetches answered by one merged scan (batch occupancy)",
+		telemetry.HistogramOpts{}, dbl)
+	reg.CounterFunc("privsp_scan_sched_fetches_total",
+		"fetches served through the scan scheduler (amortization numerator)",
+		s.schedFetches.Load, dbl)
+	reg.CounterFunc("privsp_scan_sched_scans_total",
+		"merged scans the scheduler ran (amortization denominator)",
+		s.schedScans.Load, dbl)
+	reg.GaugeFunc("privsp_scan_amortization",
+		"fetches per scan through the scheduler (>1 means cross-connection batching is paying)",
+		func() float64 {
+			scans := s.schedScans.Load()
+			if scans == 0 {
+				return 0
+			}
+			return float64(s.schedFetches.Load()) / float64(scans)
+		}, dbl)
 	for _, f := range s.db.Files {
 		hs := s.stores[f.Name()]
 		ss, ok := hs.store.(pir.ScanStats)

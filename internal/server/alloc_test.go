@@ -89,6 +89,38 @@ func TestSteadyStateFetchZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestFramePoolDoesNotRatchet: one oversized frame must not permanently
+// bloat the shared frame-buffer pool. Before the capacity cap, a single
+// ~maxFrame request grew a pooled buffer that was then recycled forever —
+// every session's steady-state memory ratcheted up to the largest frame
+// ever seen. Now putFrameBuf drops oversized buffers for the GC, and the
+// steady-state rent/return cycle keeps seeing small ones.
+func TestFramePoolDoesNotRatchet(t *testing.T) {
+	// Simulate the read loop around one hostile frame: the rented buffer is
+	// grown in place (as wire.ReadFrameBuf does for a frame bigger than the
+	// buffer) and handed back.
+	bp := framePool.Get().(*[]byte)
+	*bp = make([]byte, 2*maxPooledFrameBuf)
+	putFrameBuf(bp)
+
+	// Steady state afterwards: no rent may ever surface the bloated buffer
+	// again. Small buffers keep recycling normally.
+	for i := 0; i < 64; i++ {
+		got := framePool.Get().(*[]byte)
+		if got == bp || cap(*got) > maxPooledFrameBuf {
+			t.Fatalf("rent %d returned a %d-byte buffer — oversized frame ratcheted the pool", i, cap(*got))
+		}
+		if cap(*got) < 4096 {
+			*got = make([]byte, 0, 4096)
+		}
+		putFrameBuf(got)
+	}
+
+	// The boundary itself stays poolable: exactly maxPooledFrameBuf is fine.
+	edge := make([]byte, maxPooledFrameBuf)
+	putFrameBuf(&edge)
+}
+
 // TestAnswerFetchMatchesReadPages checks the pooled serving path returns
 // exactly what the allocating path returns, across reuse of one scratch for
 // requests of different files, sizes and batch shapes.

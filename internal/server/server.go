@@ -40,6 +40,18 @@ type Options struct {
 	// TraceHistory is how many completed per-query traces each database
 	// retains for auditing; 0 means 128.
 	TraceHistory int
+	// Stores builds the PIR store for each hosted file; nil means
+	// lbs.PlainStores. Single-scan stores (e.g. pir.NewXORPIR) engage the
+	// cross-connection scan scheduler, governed by ScanWindow/ScanBatchCap.
+	Stores lbs.StoreFactory
+	// ScanWindow is the scan scheduler's batching window — the longest a
+	// contended fetch on a single-scan store waits for co-riders before its
+	// merged scan runs; 0 means lbs.DefaultScanWindow. Lone fetches are
+	// always served immediately.
+	ScanWindow time.Duration
+	// ScanBatchCap bounds the pages one merged scan answers; 0 means
+	// lbs.DefaultScanBatchCap.
+	ScanBatchCap int
 	// Logf receives serving events; nil disables logging.
 	Logf func(format string, args ...any)
 	// Telemetry receives every serving metric this daemon records; nil
@@ -134,10 +146,15 @@ func New(opts Options) *Server {
 func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Host registers a built database under the given name (clients select it
-// in their Hello). The database is served with PlainStores behind a worker
-// pool of Options.Workers slots, private to this database.
+// in their Hello). The database is served with Options.Stores (PlainStores
+// by default) behind a worker pool of Options.Workers slots, private to
+// this database; single-scan stores get a scan scheduler tuned by
+// Options.ScanWindow/ScanBatchCap.
 func (s *Server) Host(name string, db *lbs.Database, model costmodel.Params) error {
-	lsrv, err := lbs.NewServer(db, model, nil, lbs.WithWorkers(s.opts.Workers))
+	lsrv, err := lbs.NewServer(db, model, s.opts.Stores,
+		lbs.WithWorkers(s.opts.Workers),
+		lbs.WithScanWindow(s.opts.ScanWindow),
+		lbs.WithScanBatchCap(s.opts.ScanBatchCap))
 	if err != nil {
 		return err
 	}

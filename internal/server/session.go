@@ -87,8 +87,16 @@ type sframe struct {
 // frame returns it, so the steady-state read loop allocates nothing.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
 
+// maxPooledFrameBuf caps the capacity putFrameBuf will recycle. Steady-state
+// query frames are small (a fetch batch tops out around a few KB); one
+// legitimately huge frame — MaxFetchBatch pages is ~400 KB — used to return
+// its grown buffer to the shared pool, where it was recycled forever and
+// ratcheted every session's resident memory up to the largest frame ever
+// seen. Oversized buffers are dropped for the GC instead.
+const maxPooledFrameBuf = 128 << 10
+
 func putFrameBuf(bp *[]byte) {
-	if bp != nil {
+	if bp != nil && cap(*bp) <= maxPooledFrameBuf {
 		framePool.Put(bp)
 	}
 }
