@@ -1,8 +1,10 @@
 // Command benchjson distills `go test -bench` output on stdin into the
-// machine-readable benchmark record bench/run.sh publishes as BENCH_6.json.
+// machine-readable benchmark record bench/run.sh publishes as BENCH_8.json.
 // Every benchmark result line becomes one entry carrying all its metrics
-// (ns/op, pages/s, MB/s, B/op, allocs/op, ...), so CI artifacts from
-// successive PRs diff directly.
+// (ns/op, pages/s, MB/s, B/op, allocs/op, ...), plus an "env" section
+// recording GOMAXPROCS and the machine's CPU count, so CI artifacts from
+// successive PRs diff directly and parallel-scan figures are read against
+// the core count that produced them.
 //
 // With -metrics FILE, a Prometheus-text scrape of the daemon (as served on
 // /metrics, or written by bench/serveload) is folded into a "serving"
@@ -40,9 +42,18 @@ type output struct {
 	GoOS         string         `json:"goos"`
 	GoArch       string         `json:"goarch"`
 	CPU          string         `json:"cpu,omitempty"`
+	Env          environment    `json:"env"`
 	Benchmarks   []result       `json:"benchmarks"`
 	Serving      []serving      `json:"serving,omitempty"`
 	Amortization []amortization `json:"scan_amortization,omitempty"`
+}
+
+// environment records the parallelism the run actually had available —
+// without it, a pages/s figure from a 1-core CI runner and one from an
+// 8-core box would diff as a regression instead of a hardware change.
+type environment struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 }
 
 // amortization summarizes one serveload run against single-scan stores:
@@ -85,7 +96,10 @@ func main() {
 	flag.Var(&amortize, "amortize", "N=FILE: scrape from an N-connection single-scan serveload run (repeatable)")
 	flag.Parse()
 
-	out := output{Issue: 7, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	out := output{
+		Issue: 8, GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Env: environment{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -1,24 +1,26 @@
 #!/bin/sh
-# Runs the oblivious-read benchmarks — the XOR scan kernels, the
+# Runs the oblivious-read benchmarks — the XOR scan kernels, the segmented
+# parallel scan sweep (worker width x batch size on a 64 MiB arena), the
 # single-scan multi-query XORPIR path, the single-read stores, and the
 # end-to-end worker-pool BatchRead — plus a short serving-path load
 # (bench/serveload: real daemon, real wire protocol, loopback), and
-# distills both into machine-readable BENCH_7.json: pages/s, ns/op, B/op,
-# allocs/op per benchmark, per-scheme serving latency histograms
-# (p50/p99 ms) from the daemon's own telemetry, and a scan_amortization
-# section from single-scan (XOR PIR) runs at 1, 8 and 32 concurrent
-# connections — scans_per_fetch below 1.0 is the scan scheduler merging
-# fetches from different connections into shared scans. The performance
-# trajectory stays comparable PR over PR.
+# distills both into machine-readable BENCH_8.json: pages/s, ns/op, B/op,
+# allocs/op per benchmark, an env section recording GOMAXPROCS and the
+# machine's CPU count (parallel-scan figures are meaningless without it),
+# per-scheme serving latency histograms (p50/p99 ms) from the daemon's own
+# telemetry, and a scan_amortization section from single-scan (XOR PIR)
+# runs at 1, 8 and 32 concurrent connections — scans_per_fetch below 1.0
+# is the scan scheduler merging fetches from different connections into
+# shared scans. The performance trajectory stays comparable PR over PR.
 #
-#   ./bench/run.sh                 # full run, writes BENCH_7.json
+#   ./bench/run.sh                 # full run, writes BENCH_8.json
 #   BENCH_SMOKE=1 ./bench/run.sh   # one iteration each: bit-rot guard (CI)
 #   BENCH_TIME=3s ./bench/run.sh   # longer per-benchmark budget
 #   BENCH_OUT=out.json ./bench/run.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_7.json}
+out=${BENCH_OUT:-BENCH_8.json}
 raw=$(mktemp)
 scrape=$(mktemp)
 amort1=$(mktemp)
@@ -39,7 +41,7 @@ if [ "${BENCH_SMOKE:-0}" = "1" ]; then
 fi
 
 go test ./internal/pir/ -run '^$' \
-	-bench 'BenchmarkXORAnswer|BenchmarkXORPIRBatchRead|BenchmarkXORPIRRead$|BenchmarkSqrtORAMRead' \
+	-bench 'BenchmarkXORAnswer|BenchmarkXORPIRBatchRead|BenchmarkXORPIRRead$|BenchmarkSqrtORAMRead|BenchmarkScanParallel' \
 	-benchmem -benchtime "$benchtime" | tee "$raw"
 
 go test . -run '^$' -bench 'BenchmarkBatchRead$' \
@@ -50,12 +52,15 @@ go run ./bench/serveload -queries "$loadqueries" >"$scrape"
 # Scan amortization: the same serving path on single-scan XOR PIR stores,
 # where the scheduler can merge concurrent connections into shared scans.
 # One connection is the baseline (every fetch pays its own scan); 8 and 32
-# show the batching win. GOMAXPROCS is pinned up because batching needs
-# genuinely parallel execution: on a 1-core runner GOMAXPROCS=1 runs each
-# microsecond scan to completion unpreempted, so fetches serialize
-# perfectly and no merge opportunity can form — 8 procs emulate the
-# multi-core serving tier the scheduler exists for.
-amortprocs=${BENCH_AMORT_PROCS:-8}
+# show the batching win. Batching needs genuinely parallel execution — with
+# one schedulable proc each microsecond scan runs to completion unpreempted,
+# fetches serialize perfectly and no merge opportunity can form — so run at
+# the machine's real core count (floor 2 keeps the merge window alive on
+# 1-core runners) rather than pinning an arbitrary width; the env section
+# of the output records what the run actually got.
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
+amortprocs=${BENCH_AMORT_PROCS:-$cores}
+if [ "$amortprocs" -lt 2 ]; then amortprocs=2; fi
 GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 1 -queries "$amortqueries" >"$amort1"
 GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 8 -queries "$amortqueries" >"$amort8"
 GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 32 -queries "$amortqueries" >"$amort32"

@@ -3,7 +3,7 @@
 // them on a loopback daemon, runs a fixed batch of remote queries per
 // scheme through the real wire protocol, and writes the daemon's
 // Prometheus-text /metrics scrape to stdout. bench/run.sh feeds that
-// scrape to `benchjson -metrics` so BENCH_7.json carries the serving-path
+// scrape to `benchjson -metrics` so BENCH_8.json carries the serving-path
 // latency histograms (p50/p99 per scheme) next to the kernel benchmarks.
 //
 // With -conns N, each scheme's query batch is fired from N concurrent
@@ -12,6 +12,8 @@
 // they measure scan amortization: run.sh scrapes the scheduler's
 // fetch/scan counters at 1, 8 and 32 connections and benchjson -amortize
 // folds them into the scan_amortization section of the benchmark record.
+// -scan-workers additionally fans each merged scan across the segmented
+// parallel kernel, so the same harness exercises the parallel serving path.
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	pirStore := flag.String("pir", "plain", "page store class: plain or xorpir (single-scan, scheduler-batched)")
 	scanWindow := flag.Duration("scan-window", 0, "scan-scheduler batching window (0 = server default)")
 	scanCap := flag.Int("scan-cap", 0, "scan-scheduler batch page cap (0 = server default)")
+	scanWorkers := flag.Int("scan-workers", 0, "workers fanning out each PIR scan on parallel-capable stores (0 = size-aware default, 1 = serial kernel)")
 	seed := flag.Int64("seed", 1, "network generation seed")
 	flag.Parse()
 	log.SetPrefix("serveload: ")
@@ -54,6 +57,7 @@ func main() {
 		Stores:       stores,
 		ScanWindow:   *scanWindow,
 		ScanBatchCap: *scanCap,
+		ScanWorkers:  *scanWorkers,
 	}); err != nil {
 		log.Fatal(err)
 	}

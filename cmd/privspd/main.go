@@ -44,6 +44,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -76,6 +77,7 @@ func main() {
 	pirStore := flag.String("pir", "plain", "PIR store per hosted file: plain (reads delegate to the page file; PIR timing simulated analytically) or xorpir (real two-server XOR PIR scans; engages the cross-connection scan scheduler)")
 	scanWindow := flag.Duration("scan-window", 0, "scan scheduler batching window for single-scan stores (0 = 2ms default; lone queries are never delayed)")
 	scanCap := flag.Int("scan-cap", 0, "max pages answered by one merged scan (0 = 256 default)")
+	scanWorkers := flag.Int("scan-workers", 0, "workers fanning out each PIR scan on parallel-capable stores, capped by -workers (0 = size-aware default, 1 = serial kernel)")
 	adminAddr := flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:6060; empty = disabled)")
 	pprofAddr := flag.String("pprof", "", "serve the admin endpoints on this additional address (historical alias of -admin)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
@@ -91,16 +93,21 @@ func main() {
 	var explicit []string
 	flag.Visit(func(f *flag.Flag) { explicit = append(explicit, f.Name) })
 	cfg := daemonConfig{
-		DBFiles:   splitList(*dbFiles),
-		Schemes:   splitList(*schemes),
-		Preset:    *preset,
-		NodesFile: *nodesFile,
-		EdgesFile: *edgesFile,
-		PIRStore:  *pirStore,
-		Explicit:  explicit,
+		DBFiles:     splitList(*dbFiles),
+		Schemes:     splitList(*schemes),
+		Preset:      *preset,
+		NodesFile:   *nodesFile,
+		EdgesFile:   *edgesFile,
+		PIRStore:    *pirStore,
+		ScanWorkers: *scanWorkers,
+		Explicit:    explicit,
 	}
-	if err := cfg.validate(); err != nil {
+	warnings, err := cfg.validate()
+	if err != nil {
 		log.Fatalf("privspd: %v", err)
+	}
+	for _, w := range warnings {
+		log.Printf("privspd: warning: %s", w)
 	}
 
 	srv := server.New(server.Options{
@@ -109,6 +116,7 @@ func main() {
 		Stores:       storeFactory(*pirStore),
 		ScanWindow:   *scanWindow,
 		ScanBatchCap: *scanCap,
+		ScanWorkers:  *scanWorkers,
 	})
 	if len(cfg.DBFiles) > 0 {
 		for _, path := range cfg.DBFiles {
@@ -220,12 +228,13 @@ func main() {
 // daemonConfig is the flag combination validate checks before any expensive
 // work runs.
 type daemonConfig struct {
-	DBFiles   []string
-	Schemes   []string
-	Preset    string
-	NodesFile string
-	EdgesFile string
-	PIRStore  string
+	DBFiles     []string
+	Schemes     []string
+	Preset      string
+	NodesFile   string
+	EdgesFile   string
+	PIRStore    string
+	ScanWorkers int
 	// Explicit lists the flag names the user actually set (flag.Visit).
 	Explicit []string
 }
@@ -239,12 +248,25 @@ var buildOnlyFlags = map[string]bool{
 }
 
 // validate rejects contradictory or unknown flag combinations with one
-// clear error, before any network is generated or container opened.
-func (c daemonConfig) validate() error {
+// clear error, before any network is generated or container opened, and
+// returns advisory warnings for combinations that are legal but probably
+// not what the operator meant.
+func (c daemonConfig) validate() (warnings []string, err error) {
 	switch c.PIRStore {
 	case "", "plain", "xorpir":
 	default:
-		return fmt.Errorf("unknown -pir store %q (use plain or xorpir)", c.PIRStore)
+		return nil, fmt.Errorf("unknown -pir store %q (use plain or xorpir)", c.PIRStore)
+	}
+	if c.ScanWorkers < 0 {
+		return nil, fmt.Errorf("-scan-workers must be >= 0 (0 = size-aware default, 1 = serial kernel), got %d", c.ScanWorkers)
+	}
+	if n := runtime.NumCPU(); c.ScanWorkers > n {
+		warnings = append(warnings, fmt.Sprintf(
+			"-scan-workers %d exceeds the machine's %d CPUs; extra workers add synchronization without adding memory bandwidth", c.ScanWorkers, n))
+	}
+	if c.ScanWorkers > 1 && c.PIRStore != "xorpir" {
+		warnings = append(warnings,
+			"-scan-workers only affects parallel-capable stores; -pir plain serves reads without file scans")
 	}
 	if len(c.DBFiles) > 0 {
 		var conflict []string
@@ -254,29 +276,29 @@ func (c daemonConfig) validate() error {
 			}
 		}
 		if len(conflict) > 0 {
-			return fmt.Errorf("-db serves prebuilt containers and is mutually exclusive with %s", strings.Join(conflict, ", "))
+			return warnings, fmt.Errorf("-db serves prebuilt containers and is mutually exclusive with %s", strings.Join(conflict, ", "))
 		}
-		return nil
+		return warnings, nil
 	}
 	if (c.NodesFile == "") != (c.EdgesFile == "") {
-		return fmt.Errorf("-nodes and -edges must be given together")
+		return warnings, fmt.Errorf("-nodes and -edges must be given together")
 	}
 	if c.NodesFile == "" && !knownPreset(c.Preset) {
-		return fmt.Errorf("unknown preset %q", c.Preset)
+		return warnings, fmt.Errorf("unknown preset %q", c.Preset)
 	}
 	if len(c.Schemes) == 0 {
-		return fmt.Errorf("no schemes to host")
+		return warnings, fmt.Errorf("no schemes to host")
 	}
 	for _, name := range c.Schemes {
 		switch privsp.Scheme(name) {
 		case privsp.CI, privsp.PI, privsp.PIStar, privsp.HY, privsp.LM, privsp.AF:
 		case privsp.OBF:
-			return fmt.Errorf("OBF has no PIR database and cannot be served remotely")
+			return warnings, fmt.Errorf("OBF has no PIR database and cannot be served remotely")
 		default:
-			return fmt.Errorf("unknown scheme %q in -schemes (use CI, PI, PI*, HY, LM, AF)", name)
+			return warnings, fmt.Errorf("unknown scheme %q in -schemes (use CI, PI, PI*, HY, LM, AF)", name)
 		}
 	}
-	return nil
+	return warnings, nil
 }
 
 // storeFactory maps the -pir flag (already validated) to an lbs.StoreFactory;

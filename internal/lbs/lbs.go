@@ -193,8 +193,18 @@ type Server struct {
 
 	workers int
 	sem     chan struct{}
-	busy    atomic.Int32
-	queued  atomic.Int32
+	// wide serializes multi-slot acquisitions (parallel scans occupy one
+	// slot per scan worker): only one acquirer may hold a partial slot set
+	// at a time, so two wide scans can never deadlock each other holding
+	// half the pool. 1-slot acquires bypass it entirely.
+	wide   chan struct{}
+	busy   atomic.Int32
+	queued atomic.Int32
+
+	// scanWorkersOpt is the WithScanWorkers target; 0 defers to each
+	// store's size-aware default. Resolved per store at host time (clamped
+	// to the pool) into hostedStore.scanWorkers.
+	scanWorkersOpt int
 
 	// Scan-scheduler tuning (see scheduler.go) and shared accounting. The
 	// fetch/scan tallies always run — atomics, no registry needed — so the
@@ -214,6 +224,8 @@ type Server struct {
 	schedFlushCap, schedFlushDeadline    *telemetry.Counter
 	schedFlushChain                      *telemetry.Counter
 	schedOccupancy                       *telemetry.Histogram
+	scanSegment                          *telemetry.Histogram
+	scanRoutePar, scanRouteSer           *telemetry.Counter
 }
 
 // hostedStore is one file's PIR store plus the serving capabilities probed
@@ -233,6 +245,11 @@ type hostedStore struct {
 	// sched coalesces fetches from all connections into shared scans; set
 	// only for single-scan stores (see scheduler.go).
 	sched *scanScheduler
+	// scanWorkers is the resolved per-scan worker width for parallel-
+	// capable stores (pir.ParallelScan), clamped to the pool size at host
+	// time; a scan of this store occupies this many pool slots. 1 for
+	// serial stores.
+	scanWorkers int
 }
 
 // ServerOption tunes a Server at construction.
@@ -245,6 +262,20 @@ func WithWorkers(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.workers = n
+		}
+	}
+}
+
+// WithScanWorkers sets the per-scan worker width for parallel-capable
+// stores (pir.ParallelScan): each scan of such a store fans its file pass
+// across n workers and occupies n pool slots, so one merged batch uses the
+// whole allowance instead of oversubscribing cores across concurrent scans.
+// The width is clamped to the pool size (WithWorkers) at host time; n == 1
+// forces the serial kernel; n <= 0 keeps each store's size-aware default.
+func WithScanWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.scanWorkersOpt = n
 		}
 	}
 }
@@ -271,6 +302,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		opt(s)
 	}
 	s.sem = make(chan struct{}, s.workers)
+	s.wide = make(chan struct{}, 1)
 	for _, f := range db.Files {
 		if !model.SupportsFile(pagefile.Bytes(f)) {
 			return nil, fmt.Errorf("lbs: file %s (%d bytes) exceeds the PIR interface limit of %d bytes",
@@ -280,11 +312,27 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		if err != nil {
 			return nil, fmt.Errorf("lbs: building PIR store for %s: %w", f.Name(), err)
 		}
-		hs := &hostedStore{store: st}
+		hs := &hostedStore{store: st, scanWorkers: 1}
 		hs.batch, _ = st.(pir.BatchStore)
 		hs.into, _ = st.(pir.BatchInto)
 		if ss, ok := st.(pir.SingleScan); ok {
 			hs.whole = ss.SingleScanBatch()
+		}
+		if ps, ok := st.(pir.ParallelScan); ok {
+			// Resolve the scan-worker width against the pool: a parallel
+			// scan occupies one slot per worker, so the per-database pool
+			// stays the single knob bounding parallel work. With no
+			// explicit option the store's size-aware default applies —
+			// which on the historical 1-worker default pool resolves to
+			// the serial kernel, exactly the old behaviour.
+			target := s.scanWorkersOpt
+			if target <= 0 {
+				target = ps.ScanWorkers()
+			}
+			if target > s.workers {
+				target = s.workers
+			}
+			hs.scanWorkers = ps.SetScanWorkers(target)
 		}
 		if hs.batch == nil {
 			hs.serial = make(chan struct{}, 1)
@@ -584,6 +632,73 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) release() {
 	s.busy.Add(-1)
 	<-s.sem
+}
+
+// acquireN takes n pool slots for one parallel scan (weight = scan-worker
+// width), or returns ctx.Err() while still queued. Multi-slot acquisitions
+// serialize on the wide token, so a partial slot set is only ever held by
+// one acquirer and two wide scans cannot deadlock each other; 1-slot reads
+// keep the existing fast path untouched.
+func (s *Server) acquireN(ctx context.Context, n int) error {
+	if n > s.workers {
+		n = s.workers
+	}
+	if n <= 1 {
+		return s.acquire(ctx)
+	}
+	select {
+	case s.wide <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-s.wide }()
+	got := 0
+	for got < n {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got < n {
+		s.queued.Add(1)
+		start := time.Now()
+		for got < n {
+			select {
+			case s.sem <- struct{}{}:
+				got++
+			case <-ctx.Done():
+				s.queued.Add(-1)
+				for ; got > 0; got-- {
+					<-s.sem
+				}
+				return ctx.Err()
+			}
+		}
+		s.queued.Add(-1)
+		s.poolWait.Observe(int64(time.Since(start)))
+	} else {
+		s.poolWait.Observe(0)
+	}
+	s.busy.Add(int32(n))
+	return nil
+}
+
+// releaseN returns a parallel scan's slots.
+func (s *Server) releaseN(n int) {
+	if n > s.workers {
+		n = s.workers
+	}
+	if n <= 1 {
+		s.release()
+		return
+	}
+	s.busy.Add(int32(-n))
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
 }
 
 // PoolStats snapshots the worker pool: its size, the reads executing right

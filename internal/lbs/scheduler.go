@@ -314,14 +314,21 @@ func (sc *scanScheduler) runBatch(batch []*scanReq, reason *telemetry.Counter) {
 	schedScratchPool.Put(ss)
 }
 
-// scan acquires one pool slot and answers the merged batch in a single
-// store pass, recording the flush accounting only once the scan actually
-// runs.
+// scan acquires the store's slot weight — one slot per scan worker, so a
+// parallel merged scan charges the pool for every core it will occupy —
+// and answers the merged batch in a single store pass, recording the flush
+// accounting only once the scan actually runs.
 func (sc *scanScheduler) scan(ctx context.Context, pages []int, dst [][]byte, queries int, reason *telemetry.Counter) error {
-	if err := sc.srv.acquire(ctx); err != nil {
+	weight := sc.hs.scanWorkers
+	if err := sc.srv.acquireN(ctx, weight); err != nil {
 		return err
 	}
-	defer sc.srv.release()
+	defer sc.srv.releaseN(weight)
+	if weight > 1 {
+		sc.srv.scanRoutePar.Inc()
+	} else {
+		sc.srv.scanRouteSer.Inc()
+	}
 	reason.Inc()
 	sc.srv.schedFetches.Add(uint64(queries))
 	sc.srv.schedScans.Add(1)

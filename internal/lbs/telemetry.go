@@ -1,6 +1,8 @@
 package lbs
 
 import (
+	"time"
+
 	"repro/internal/pir"
 	"repro/internal/telemetry"
 )
@@ -72,6 +74,18 @@ func (s *Server) initTelemetry() {
 	s.schedOccupancy = reg.Histogram("privsp_scan_batch_queries",
 		"fetches answered by one merged scan (batch occupancy)",
 		telemetry.HistogramOpts{}, dbl)
+	// Parallel-kernel families, likewise eager. The segment histogram
+	// observes exactly ScanWorkers durations per parallel store pass — a
+	// count fixed by configuration — and the route split depends only on
+	// the configured width, so neither can encode page contents.
+	s.scanSegment = reg.Histogram("privsp_scan_segment_seconds",
+		"wall-clock time one worker spent folding its segment of a parallel scan",
+		telemetry.Seconds(), dbl)
+	const kernelHelp = "merged scans by kernel route (parallel = segmented multi-worker pass)"
+	s.scanRoutePar = reg.Counter("privsp_scan_route_total",
+		kernelHelp, dbl, telemetry.L("kernel", "parallel"))
+	s.scanRouteSer = reg.Counter("privsp_scan_route_total",
+		kernelHelp, dbl, telemetry.L("kernel", "serial"))
 	reg.CounterFunc("privsp_scan_sched_fetches_total",
 		"fetches served through the scan scheduler (amortization numerator)",
 		s.schedFetches.Load, dbl)
@@ -89,11 +103,22 @@ func (s *Server) initTelemetry() {
 		}, dbl)
 	for _, f := range s.db.Files {
 		hs := s.stores[f.Name()]
+		fl := telemetry.L("file", f.Name())
+		// Registered for every file — a store without a parallel kernel
+		// simply reports width 1 — so the family exists on any daemon and
+		// the presence of a series never encodes store capabilities beyond
+		// what the public configuration already states.
+		width := hs.scanWorkers
+		reg.GaugeFunc("privsp_scan_workers",
+			"scan-worker width per store pass (1 = serial kernel), resolved against the pool at host time",
+			func() float64 { return float64(width) }, dbl, fl)
+		if ps, ok := hs.store.(pir.ParallelScan); ok {
+			ps.SetScanObserver(func(d time.Duration) { s.scanSegment.Observe(int64(d)) })
+		}
 		ss, ok := hs.store.(pir.ScanStats)
 		if !ok {
 			continue
 		}
-		fl := telemetry.L("file", f.Name())
 		reg.CounterFunc("privsp_pir_pages_scanned_total",
 			"pages-equivalent server work performed by the PIR store (scan amortization numerator)",
 			func() uint64 { p, _ := ss.ScanStats(); return p }, dbl, fl)

@@ -96,6 +96,53 @@ func BenchmarkXORPIRBatchRead(b *testing.B) {
 	}
 }
 
+// BenchmarkScanParallel sweeps the segmented parallel kernel across worker
+// widths and batch sizes on a 64 MiB arena — far beyond any last-level
+// cache, so each worker streams its own segment of DRAM and the sweep
+// measures how far the machine's memory bandwidth exceeds one core's.
+// workers=1 is the serial kernel (the exact pre-parallel code path); pages/s
+// counts pages scanned per second, the serving-capacity figure of merit.
+// Run with -cpu to pin the schedulable core count: on an 8-core machine
+// `-cpu 8` at workers=8 should deliver well over 2x the workers=1 rate.
+func BenchmarkScanParallel(b *testing.B) {
+	const n, ps = 65536, 1024 // 64 MiB
+	pages := makePages(n, ps, 11)
+	arena, err := newWordArena(src(pages, ps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := newScanGroup(8, arena.numPages)
+	pool := newArenaTaskPool()
+	rng := rand.New(rand.NewSource(12))
+	for _, k := range []int{1, 8} {
+		sels := make([][]byte, k)
+		accs := make([][]uint64, k)
+		for i := range sels {
+			sels[i] = make([]byte, (n+7)/8)
+			rng.Read(sels[i])
+			accs[i] = make([]uint64, arena.wpp)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("k=%d/workers=%d", k, w), func(b *testing.B) {
+				b.SetBytes(n * ps)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, acc := range accs {
+						clearWords(acc)
+					}
+					if w == 1 {
+						arena.answerAll(sels, accs)
+					} else {
+						g.answerAllParallel(pool, arena, sels, accs, w)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "pages/s")
+			})
+		}
+	}
+}
+
 func BenchmarkSqrtORAMRead(b *testing.B) {
 	pages := makePages(256, 4096, 1)
 	o, err := NewSqrtORAM(src(pages, 4096), 1)

@@ -152,7 +152,15 @@ func (a *wordArena) answerOne(sel []byte, acc []uint64) {
 // zeroed by the caller. This is what makes a k-page batch cost one file
 // scan instead of k.
 func (a *wordArena) answerAll(sels [][]byte, accs [][]uint64) {
-	for p := 0; p < a.numPages; p++ {
+	a.answerAllRange(sels, accs, 0, a.numPages)
+}
+
+// answerAllRange is answerAll restricted to pages [start, end) — the unit
+// of work one scan-worker segment folds (see parallel.go). Page rows are
+// contiguous and at least a cache line apart at any realistic page size, so
+// concurrent ranges never share a written line.
+func (a *wordArena) answerAllRange(sels [][]byte, accs [][]uint64, start, end int) {
+	for p := start; p < end; p++ {
 		byteIdx, bit := p>>3, byte(1)<<(p&7)
 		var row []uint64
 		for j, sel := range sels {

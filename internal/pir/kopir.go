@@ -5,6 +5,9 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/pagefile"
 )
@@ -30,6 +33,13 @@ type KOPIR struct {
 	n    *big.Int // public modulus
 	p, q *big.Int // client-held factorization
 	bits int      // modulus size
+
+	// Parallel scan machinery (see parallel.go). KOPIR is compute-bound
+	// (modular products per bit), so its unit of segmentation is the
+	// destination byte column: each worker owns a contiguous range of bit
+	// rounds covering whole output bytes, rounds being mutually independent
+	// server exchanges.
+	*scanGroup
 
 	scanCounters
 }
@@ -64,14 +74,20 @@ func NewKOPIR(src pagefile.Reader, modulusBits int) (*KOPIR, error) {
 			return nil, err
 		}
 	}
-	return &KOPIR{
+	k := &KOPIR{
 		pages:    pages,
 		numPages: len(pages),
 		pageSize: pageSize,
 		n:        new(big.Int).Mul(p, q),
 		p:        p, q: q,
 		bits: modulusBits,
-	}, nil
+		// Modular products dominate every bit round, so unlike the
+		// memory-bound arena stores there is no size floor: any page with
+		// at least one byte column per worker parallelizes profitably.
+		scanGroup: newScanGroup(runtime.GOMAXPROCS(0), pageSize),
+	}
+	bindCleanup(k, k.scanGroup)
+	return k, nil
 }
 
 // Read implements Store: it retrieves the target page bit by bit. Each bit
@@ -247,11 +263,34 @@ func (k *KOPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) er
 		}
 		rowQueries[p] = append(rowQueries[p], i)
 	}
-	t := k.pageSize * 8
-	yss := make([][]*big.Int, 0, len(pages))
-	for bit := 0; bit < t; bit++ {
+	if nw := k.ScanWorkers(); nw > 1 {
+		if err := k.answerBitsParallel(ctx, dst, rowOrder, rowQueries, nw); err != nil {
+			return err
+		}
+	} else if err := k.answerBitRange(ctx, dst, rowOrder, rowQueries, 0, k.pageSize*8, nil); err != nil {
+		return err
+	}
+	// One database-equivalent pass per batch: in the real protocol the
+	// server exponentiates over the full s×t matrix for every query set
+	// (the row grouping above is a simulation shortcut, not visible work).
+	k.recordScan(uint64(k.numPages), 1)
+	return nil
+}
+
+// answerBitRange runs the bit rounds [startBit, endBit) of a batch — the
+// unit of work one scan-worker segment owns. Rounds are independent server
+// exchanges (each samples its own fresh query vectors), so any partition of
+// the rounds yields the same decoded bits. ctx is checked at round
+// boundaries, and a non-nil bail flag (set by a sibling segment that hit an
+// error) stops the range early.
+func (k *KOPIR) answerBitRange(ctx context.Context, dst [][]byte, rowOrder []int, rowQueries map[int][]int, startBit, endBit int, bail *atomic.Bool) error {
+	yss := make([][]*big.Int, 0, 4)
+	for bit := startBit; bit < endBit; bit++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if bail != nil && bail.Load() {
+			return nil
 		}
 		for _, row := range rowOrder {
 			idxs := rowQueries[row]
@@ -271,11 +310,64 @@ func (k *KOPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) er
 			}
 		}
 	}
-	// One database-equivalent pass per batch: in the real protocol the
-	// server exponentiates over the full s×t matrix for every query set
-	// (the row grouping above is a simulation shortcut, not visible work).
-	k.recordScan(uint64(k.numPages), 1)
 	return nil
+}
+
+// kopirTask fans a batch's bit rounds across the worker group. Segments
+// split the page's byte columns, so no two workers ever OR into the same
+// destination byte.
+type kopirTask struct {
+	seg        segTask
+	k          *KOPIR
+	ctx        context.Context
+	dst        [][]byte
+	rowOrder   []int
+	rowQueries map[int][]int
+	chunk      int // byte columns per segment
+
+	bail atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (t *kopirTask) runSegment(seg int) {
+	startB := seg * t.chunk
+	endB := startB + t.chunk
+	if endB > t.k.pageSize {
+		endB = t.k.pageSize
+	}
+	err := t.k.answerBitRange(t.ctx, t.dst, t.rowOrder, t.rowQueries, startB*8, endB*8, &t.bail)
+	if err != nil {
+		t.bail.Store(true)
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+	}
+}
+
+// answerBitsParallel answers all bit rounds with nw workers, byte columns
+// partitioned contiguously. KOPIR tasks are not pooled: per-round query
+// sampling allocates big.Ints by the thousand, so a task header per batch
+// is noise (the arena stores, where allocation is the budget, pool theirs).
+func (k *KOPIR) answerBitsParallel(ctx context.Context, dst [][]byte, rowOrder []int, rowQueries map[int][]int, nw int) error {
+	t := &kopirTask{
+		k:          k,
+		ctx:        ctx,
+		dst:        dst,
+		rowOrder:   rowOrder,
+		rowQueries: rowQueries,
+		chunk:      (k.pageSize + nw - 1) / nw,
+	}
+	t.seg.run = t.runSegment
+	t.seg.nseg = int32(nw)
+	k.scanGroup.exec(&t.seg)
+	t.seg.deref()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.err
 }
 
 // SingleScanBatch implements SingleScan: each bit round walks the matrix

@@ -42,8 +42,11 @@ type Store interface {
 // concurrent use — callers (the per-database worker pool of lbs.Server) fan
 // sub-batches out across goroutines, and several connections may batch-read
 // the same store at the same time. Implementations must NOT spawn their own
-// concurrency: the caller's pool is the single knob bounding parallel reads
-// per database, and a ReadBatch call on its own executes serially.
+// concurrency except through ParallelScan, whose worker width the serving
+// layer sets and charges against its pool (a parallel scan occupies one
+// slot per scan worker — see lbs.Server), so the per-database pool remains
+// the single knob bounding parallel work; a ReadBatch call on a store left
+// at ScanWorkers() == 1 executes serially.
 //
 // Plain, XORPIR and KOPIR implement it because their reads touch no mutable
 // state (XORPIR's test-visible last-query fields are mutex-guarded).
@@ -197,4 +200,7 @@ var (
 	_ BatchInto  = (*Plain)(nil)
 	_ BatchInto  = (*XORPIR)(nil)
 	_ BatchInto  = (*KOPIR)(nil)
+
+	_ ParallelScan = (*XORPIR)(nil)
+	_ ParallelScan = (*KOPIR)(nil)
 )

@@ -31,6 +31,11 @@ type XORPIR struct {
 	rng      io.Reader
 	scratch  sync.Pool // *xorScratch, sized for this store
 
+	// Parallel scan machinery (see parallel.go): a persistent worker group
+	// fans each replica scan across page segments when ScanWorkers() > 1.
+	*scanGroup
+	taskPool *sync.Pool // *arenaTask
+
 	// lastMu guards the recorded-query buffers: reads are otherwise
 	// stateless and run concurrently under a batch fan-out. The buffers
 	// are reused across reads (the hot path records without allocating),
@@ -65,13 +70,17 @@ func NewXORPIR(src pagefile.Reader) (*XORPIR, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &XORPIR{
-		a:        &xorServer{arena: arena},
-		b:        &xorServer{arena: arena},
-		numPages: arena.numPages,
-		pageSize: arena.pageSize,
-		rng:      rand.Reader,
-	}, nil
+	x := &XORPIR{
+		a:         &xorServer{arena: arena},
+		b:         &xorServer{arena: arena},
+		numPages:  arena.numPages,
+		pageSize:  arena.pageSize,
+		rng:       rand.Reader,
+		scanGroup: newScanGroup(defaultArenaWorkers(len(arena.words)), arena.numPages),
+		taskPool:  newArenaTaskPool(),
+	}
+	bindCleanup(x, x.scanGroup)
+	return x, nil
 }
 
 // selBytes is the selector vector size: one bit per page.
@@ -182,12 +191,24 @@ func (x *XORPIR) ReadBatchInto(ctx context.Context, pages []int, dst [][]byte) e
 
 	// One scan per replica answers the whole batch. The ctx check between
 	// the two scans is the only read boundary a single-scan batch has.
+	// With scan workers configured, each replica pass fans out across the
+	// worker group — same pass count, same pages touched, answers
+	// byte-identical to the serial kernel (XOR is associative).
 	clearWords(sc.accbuf)
-	x.a.arena.answerAll(sc.selsA, sc.accsA)
+	nw := x.ScanWorkers()
+	if nw > 1 {
+		x.answerAllParallel(x.taskPool, x.a.arena, sc.selsA, sc.accsA, nw)
+	} else {
+		x.a.arena.answerAll(sc.selsA, sc.accsA)
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	x.b.arena.answerAll(sc.selsB, sc.accsB)
+	if nw > 1 {
+		x.answerAllParallel(x.taskPool, x.b.arena, sc.selsB, sc.accsB, nw)
+	} else {
+		x.b.arena.answerAll(sc.selsB, sc.accsB)
+	}
 	// Two full-file passes (one per replica) answered the whole batch,
 	// whatever its size — the quantity the amortization ratio tracks.
 	x.recordScan(2*uint64(x.numPages), 2)

@@ -24,9 +24,17 @@ func xorStores(f pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(f) }
 // startSchedServer hosts the named databases on XORPIR stores behind the
 // scan scheduler, on a loopback listener.
 func startSchedServer(t testing.TB, window time.Duration, names ...string) (*Server, string) {
+	return startSchedServerOpts(t, Options{Workers: 4, ScanWindow: window}, names...)
+}
+
+// startSchedServerOpts is startSchedServer with the full option surface —
+// the parallel-scan variants force ScanWorkers through it. Stores is always
+// XORPIR.
+func startSchedServerOpts(t testing.TB, opts Options, names ...string) (*Server, string) {
 	t.Helper()
 	_, dbs := fixture(t)
-	srv := New(Options{Workers: 4, Stores: xorStores, ScanWindow: window})
+	opts.Stores = xorStores
+	srv := New(opts)
 	for _, name := range names {
 		if err := srv.Host(name, dbs[name], costmodel.Default()); err != nil {
 			t.Fatal(err)
@@ -176,6 +184,118 @@ func TestTelemetryLeakageFreeCoScheduling(t *testing.T) {
 			for i := 1; i < len(deltas); i++ {
 				if deltas[i] != deltas[0] {
 					t.Errorf("endpoints %v and %v produced different scheduler metric deltas — batching metadata is a side channel:\n--- %v ---\n%s\n--- %v ---\n%s",
+						queries[0], queries[i], queries[0], deltas[0], queries[i], deltas[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem1UnderParallelScan re-runs the co-scheduling Theorem 1 check
+// with the segmented parallel kernel forced on (scan-workers = pool size):
+// fanning each merged scan across a worker group changes which core XORs
+// which words, never which file any query is seen to access, so every
+// client-recorded and server-observed trace must still be the plan's
+// canonical trace — with a parallel store pass actually engaged.
+func TestTheorem1UnderParallelScan(t *testing.T) {
+	g, dbs := fixture(t)
+	const concurrency = 8
+
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			srv, addr := startSchedServerOpts(t,
+				Options{Workers: 4, ScanWorkers: 4, ScanWindow: 2 * time.Millisecond}, scheme)
+			want := lbs.CanonicalTrace(dbs[scheme].Plan)
+
+			var wg sync.WaitGroup
+			errs := make(chan error, concurrency)
+			for i := 0; i < concurrency; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c := dialDB(t, addr, scheme)
+					s := graph.NodeID(i % g.NumNodes())
+					d := graph.NodeID((g.NumNodes() - 1 - 3*i + g.NumNodes()) % g.NumNodes())
+					res, serverTrace, err := remoteQuery(c, scheme, s, d, g)
+					if err != nil {
+						errs <- fmt.Errorf("conn %d (s=%d d=%d): %w", i, s, d, err)
+						return
+					}
+					if res.Trace != want {
+						errs <- fmt.Errorf("conn %d: client trace deviates under parallel scans:\ngot:\n%swant:\n%s", i, res.Trace, want)
+						return
+					}
+					if serverTrace != want {
+						errs <- fmt.Errorf("conn %d: server-observed trace deviates under parallel scans:\ngot:\n%swant:\n%s", i, serverTrace, want)
+						return
+					}
+					errs <- nil
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < concurrency; i++ {
+				if err := <-errs; err != nil {
+					t.Error(err)
+				}
+			}
+
+			settle(t, srv, scheme)
+			// The parallel kernel must actually have run: every file wide
+			// enough for >1 worker routes its scans through it.
+			parallel := metricTotal(srv.Telemetry(), "privsp_scan_route_total")
+			if parallel == 0 {
+				t.Error("no scans recorded a kernel route — parallel wiring is dead")
+			}
+		})
+	}
+}
+
+// TestTelemetryLeakageFreeParallelScan extends the leakage invariant to the
+// parallel kernel's instrumentation: with scan-workers > 1, the segment-time
+// histogram gains a fixed number of observations per store pass (2 × width —
+// a function of configuration) and the kernel-route counters move with scan
+// counts — so same-shape queries for different endpoints must still produce
+// byte-identical registry deltas.
+func TestTelemetryLeakageFreeParallelScan(t *testing.T) {
+	g, _ := fixture(t)
+	queries := [][2]graph.NodeID{
+		{0, graph.NodeID(g.NumNodes() - 1)},
+		{1, 2},
+		{5, 5},
+	}
+
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			srv, addr := startSchedServerOpts(t,
+				Options{Workers: 4, ScanWorkers: 4, ScanWindow: 2 * time.Millisecond}, scheme)
+			c := dialDB(t, addr, scheme)
+			reg := srv.Telemetry()
+
+			if _, _, err := remoteQuery(c, scheme, 3, 4, g); err != nil {
+				t.Fatal(err)
+			}
+			settle(t, srv, scheme)
+
+			deltas := make([]string, len(queries))
+			for i, q := range queries {
+				before := reg.Snapshot()
+				if _, _, err := remoteQuery(c, scheme, q[0], q[1], g); err != nil {
+					t.Fatalf("query %v: %v", q, err)
+				}
+				settle(t, srv, scheme)
+				deltas[i] = telemetry.Delta(before, reg.Snapshot())
+			}
+
+			for _, want := range []string{
+				"privsp_scan_route_total", "privsp_scan_segment_seconds",
+			} {
+				if !strings.Contains(deltas[0], want) {
+					t.Errorf("delta does not move %s:\n%s", want, deltas[0])
+				}
+			}
+			for i := 1; i < len(deltas); i++ {
+				if deltas[i] != deltas[0] {
+					t.Errorf("endpoints %v and %v produced different metric deltas under parallel scans — a side channel:\n--- %v ---\n%s\n--- %v ---\n%s",
 						queries[0], queries[i], queries[0], deltas[0], queries[i], deltas[i])
 				}
 			}

@@ -52,6 +52,13 @@ type Options struct {
 	// ScanBatchCap bounds the pages one merged scan answers; 0 means
 	// lbs.DefaultScanBatchCap.
 	ScanBatchCap int
+	// ScanWorkers is the per-scan worker width for parallel-capable stores
+	// (pir.ParallelScan): each file pass fans out across this many workers
+	// and occupies as many pool slots, so one merged scan uses the machine
+	// instead of oversubscribing cores across concurrent scans. Clamped to
+	// Workers per database; 1 forces the serial kernel; 0 means each
+	// store's size-aware default (GOMAXPROCS, shrunk for small files).
+	ScanWorkers int
 	// Logf receives serving events; nil disables logging.
 	Logf func(format string, args ...any)
 	// Telemetry receives every serving metric this daemon records; nil
@@ -154,7 +161,8 @@ func (s *Server) Host(name string, db *lbs.Database, model costmodel.Params) err
 	lsrv, err := lbs.NewServer(db, model, s.opts.Stores,
 		lbs.WithWorkers(s.opts.Workers),
 		lbs.WithScanWindow(s.opts.ScanWindow),
-		lbs.WithScanBatchCap(s.opts.ScanBatchCap))
+		lbs.WithScanBatchCap(s.opts.ScanBatchCap),
+		lbs.WithScanWorkers(s.opts.ScanWorkers))
 	if err != nil {
 		return err
 	}
