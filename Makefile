@@ -12,14 +12,14 @@ vet:
 	$(GO) vet ./...
 
 # Full benchmark sweep over the oblivious-read serving path, including the
-# parallel-scan width sweep; writes machine-readable BENCH_8.json with an
+# parallel-scan width sweep; writes machine-readable BENCH_9.json with an
 # env section recording GOMAXPROCS / CPU count (see bench/run.sh and README
 # "Performance"). The script detects the machine's cores — no pinning.
 bench:
 	./bench/run.sh
 
 # One-iteration benchmark pass: guards the benchmarks against bit-rot and
-# still emits BENCH_8.json (CI runs this and uploads the JSON artifact, so
+# still emits BENCH_9.json (CI runs this and uploads the JSON artifact, so
 # the perf trajectory is tracked PR over PR).
 bench-smoke:
 	BENCH_SMOKE=1 ./bench/run.sh

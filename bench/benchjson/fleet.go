@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// fleetSection summarizes one two-server fan-out run: the fleet client's
+// own query accounting plus each replica's server-side scan counters,
+// normalized to scans/s by the run's wall time. Per-replica figures are
+// the point of the section — in healthy paired mode both replicas show
+// the same scan count (each query costs each server exactly one scan per
+// fetched page), so an asymmetry here means degraded traffic.
+type fleetSection struct {
+	ElapsedSeconds  float64        `json:"elapsed_seconds"`
+	PairedQueries   uint64         `json:"paired_queries"`
+	DegradedQueries uint64         `json:"degraded_queries"`
+	Replicas        []fleetReplica `json:"replicas"`
+}
+
+// fleetReplica is one replica daemon's share of the run, read from its own
+// /metrics scrape.
+type fleetReplica struct {
+	Replica      string  `json:"replica"`
+	Queries      uint64  `json:"queries"`
+	ShareFetches uint64  `json:"share_fetches"`
+	Scans        uint64  `json:"scans"`
+	ScansPerSec  float64 `json:"scans_per_sec"`
+}
+
+// parseFleetClient reads the fleet CLIENT scrape bench/serveload -fleet
+// prints: the "# fleet_elapsed_seconds" comment stamped above the
+// exposition, and the fan-out mode counters. A scrape without the elapsed
+// comment is an error — scans/s would be unnormalizable.
+func parseFleetClient(scrape string) (fleetSection, error) {
+	var fs fleetSection
+	sawElapsed := false
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "# fleet_elapsed_seconds "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil || v <= 0 {
+				return fs, fmt.Errorf("bad fleet_elapsed_seconds %q", rest)
+			}
+			fs.ElapsedSeconds, sawElapsed = v, true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fs, fmt.Errorf("line %q: %v", line, err)
+		}
+		switch name {
+		case "privsp_fleet_queries_total":
+			if labels["mode"] == "paired" {
+				fs.PairedQueries += uint64(value)
+			}
+		case "privsp_fleet_degraded_queries_total":
+			fs.DegradedQueries += uint64(value)
+		}
+	}
+	if !sawElapsed {
+		return fs, fmt.Errorf("no fleet_elapsed_seconds comment — not a serveload -fleet scrape")
+	}
+	return fs, nil
+}
+
+// parseFleetReplica sums one replica daemon's query/share/scan counters
+// across its databases and normalizes scans to the fan-out run's wall
+// time. A replica that answered share fetches without counting scans (or
+// the reverse) would mean the scrape came from a non-single-scan store,
+// where per-replica scans/s is not the metric the section claims.
+func parseFleetReplica(scrape, name string, elapsed float64) (fleetReplica, error) {
+	fr := fleetReplica{Replica: name}
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, _, value, err := parseSample(line)
+		if err != nil {
+			return fr, fmt.Errorf("line %q: %v", line, err)
+		}
+		switch metric {
+		case "privsp_server_queries_total":
+			fr.Queries += uint64(value)
+		case "privsp_server_share_fetches_total":
+			fr.ShareFetches += uint64(value)
+		case "privsp_pir_scans_total":
+			fr.Scans += uint64(value)
+		}
+	}
+	if fr.ShareFetches == 0 {
+		return fr, fmt.Errorf("no share fetches counted — replica did not serve the fan-out path")
+	}
+	if elapsed > 0 {
+		fr.ScansPerSec = float64(fr.Scans) / elapsed
+	}
+	return fr, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const fleetClientScrape = `# fleet_elapsed_seconds 2.5
+# TYPE privsp_fleet_queries_total counter
+privsp_fleet_queries_total{mode="paired"} 10
+privsp_fleet_queries_total{mode="mirror"} 0
+# TYPE privsp_fleet_degraded_queries_total counter
+privsp_fleet_degraded_queries_total 1
+# TYPE privsp_fleet_replica_up gauge
+privsp_fleet_replica_up{replica="127.0.0.1:7465"} 1
+`
+
+const fleetReplicaScrape = `# TYPE privsp_server_queries_total counter
+privsp_server_queries_total{db="CI"} 11
+# TYPE privsp_server_share_fetches_total counter
+privsp_server_share_fetches_total{db="CI"} 40
+# TYPE privsp_pir_scans_total counter
+privsp_pir_scans_total{db="CI"} 40
+privsp_pir_scans_total{db="LM"} 10
+`
+
+func TestParseFleetClient(t *testing.T) {
+	fs, err := parseFleetClient(fleetClientScrape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.ElapsedSeconds != 2.5 || fs.PairedQueries != 10 || fs.DegradedQueries != 1 {
+		t.Fatalf("parsed %+v, want elapsed 2.5s, 10 paired, 1 degraded", fs)
+	}
+
+	_, err = parseFleetClient(strings.ReplaceAll(fleetClientScrape, "fleet_elapsed_seconds", "x"))
+	if err == nil || !strings.Contains(err.Error(), "fleet_elapsed_seconds") {
+		t.Fatalf("scrape without elapsed comment: err = %v, want one naming the comment", err)
+	}
+}
+
+func TestParseFleetReplica(t *testing.T) {
+	fr, err := parseFleetReplica(fleetReplicaScrape, "a", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Replica != "a" || fr.Queries != 11 || fr.ShareFetches != 40 || fr.Scans != 50 {
+		t.Fatalf("parsed %+v, want 11 queries, 40 share fetches, 50 scans summed over dbs", fr)
+	}
+	if math.Abs(fr.ScansPerSec-20) > 1e-9 {
+		t.Fatalf("scans/s = %v, want 50/2.5 = 20", fr.ScansPerSec)
+	}
+
+	// A replica that never answered a share fetch did not serve the
+	// fan-out path — the section must refuse it rather than record a
+	// vacuous zero.
+	_, err = parseFleetReplica(strings.ReplaceAll(fleetReplicaScrape, "share_fetches", "other"), "a", 2.5)
+	if err == nil || !strings.Contains(err.Error(), "share fetches") {
+		t.Fatalf("scan-less replica scrape: err = %v, want a share-fetch error", err)
+	}
+}

@@ -1,5 +1,5 @@
 // Command benchjson distills `go test -bench` output on stdin into the
-// machine-readable benchmark record bench/run.sh publishes as BENCH_8.json.
+// machine-readable benchmark record bench/run.sh publishes as BENCH_9.json.
 // Every benchmark result line becomes one entry carrying all its metrics
 // (ns/op, pages/s, MB/s, B/op, allocs/op, ...), plus an "env" section
 // recording GOMAXPROCS and the machine's CPU count, so CI artifacts from
@@ -18,6 +18,14 @@
 // scheduler's fetch/scan counters are summed across databases into a
 // "scan_amortization" section, so the record shows how far below one
 // scan per fetch the cross-connection batching drives the serving cost.
+//
+// With -fleet FILE (the fleet CLIENT scrape a `serveload -fleet` run
+// prints, wall time stamped as a "# fleet_elapsed_seconds" comment) and
+// repeatable -fleet-replica NAME=FILE (each replica daemon's own /metrics
+// scrape after the run), a "fleet" section records the two-server fan-out
+// run: paired/degraded query counts from the client, and per-replica
+// share-fetch and scan totals normalized to scans/s — the per-server cost
+// of the halved-compute deployment, tracked PR over PR.
 package main
 
 import (
@@ -46,6 +54,7 @@ type output struct {
 	Benchmarks   []result       `json:"benchmarks"`
 	Serving      []serving      `json:"serving,omitempty"`
 	Amortization []amortization `json:"scan_amortization,omitempty"`
+	Fleet        *fleetSection  `json:"fleet,omitempty"`
 }
 
 // environment records the parallelism the run actually had available —
@@ -90,14 +99,34 @@ func (a *amortizeFlag) Set(v string) error {
 	return nil
 }
 
+// replicaFlag collects repeatable -fleet-replica NAME=FILE arguments.
+type replicaFlag []struct {
+	name string
+	file string
+}
+
+func (r *replicaFlag) String() string { return fmt.Sprint(*r) }
+
+func (r *replicaFlag) Set(v string) error {
+	name, file, ok := strings.Cut(v, "=")
+	if !ok || name == "" || file == "" {
+		return fmt.Errorf("want NAME=FILE, got %q", v)
+	}
+	*r = append(*r, struct{ name, file string }{name, file})
+	return nil
+}
+
 func main() {
 	metricsFile := flag.String("metrics", "", "Prometheus-text scrape to fold into the \"serving\" section")
 	var amortize amortizeFlag
 	flag.Var(&amortize, "amortize", "N=FILE: scrape from an N-connection single-scan serveload run (repeatable)")
+	fleetFile := flag.String("fleet", "", "fleet client scrape from a serveload -fleet run (with its fleet_elapsed_seconds comment)")
+	var replicas replicaFlag
+	flag.Var(&replicas, "fleet-replica", "NAME=FILE: one replica daemon's /metrics scrape after the -fleet run (repeatable)")
 	flag.Parse()
 
 	out := output{
-		Issue: 8, GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Issue: 9, GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
 		Env: environment{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -162,6 +191,36 @@ func main() {
 			os.Exit(1)
 		}
 		out.Amortization = append(out.Amortization, am)
+	}
+	if len(replicas) > 0 && *fleetFile == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -fleet-replica needs -fleet for the run's wall time")
+		os.Exit(1)
+	}
+	if *fleetFile != "" {
+		raw, err := os.ReadFile(*fleetFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fs, err := parseFleetClient(string(raw))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -fleet %s: %v\n", *fleetFile, err)
+			os.Exit(1)
+		}
+		for _, r := range replicas {
+			raw, err := os.ReadFile(r.file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			fr, err := parseFleetReplica(string(raw), r.name, fs.ElapsedSeconds)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -fleet-replica %s=%s: %v\n", r.name, r.file, err)
+				os.Exit(1)
+			}
+			fs.Replicas = append(fs.Replicas, fr)
+		}
+		out.Fleet = &fs
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

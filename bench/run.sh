@@ -4,7 +4,7 @@
 # single-scan multi-query XORPIR path, the single-read stores, and the
 # end-to-end worker-pool BatchRead — plus a short serving-path load
 # (bench/serveload: real daemon, real wire protocol, loopback), and
-# distills both into machine-readable BENCH_8.json: pages/s, ns/op, B/op,
+# distills both into machine-readable BENCH_9.json: pages/s, ns/op, B/op,
 # allocs/op per benchmark, an env section recording GOMAXPROCS and the
 # machine's CPU count (parallel-scan figures are meaningless without it),
 # per-scheme serving latency histograms (p50/p99 ms) from the daemon's own
@@ -13,20 +13,46 @@
 # is the scan scheduler merging fetches from different connections into
 # shared scans. The performance trajectory stays comparable PR over PR.
 #
-#   ./bench/run.sh                 # full run, writes BENCH_8.json
+# The fleet stage then boots two real -replica-role daemons serving the
+# same container and drives serveload -fleet through them: every page read
+# is split into XOR PIR selector shares across the two processes and
+# reconstructed client-side. The record's "fleet" section carries each
+# replica's own scan counters normalized to scans/s, and the fleet
+# client's fan-out latency histogram joins the serving section.
+#
+#   ./bench/run.sh                 # full run, writes BENCH_9.json
 #   BENCH_SMOKE=1 ./bench/run.sh   # one iteration each: bit-rot guard (CI)
 #   BENCH_TIME=3s ./bench/run.sh   # longer per-benchmark budget
 #   BENCH_OUT=out.json ./bench/run.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_8.json}
+out=${BENCH_OUT:-BENCH_9.json}
 raw=$(mktemp)
 scrape=$(mktemp)
 amort1=$(mktemp)
 amort8=$(mktemp)
 amort32=$(mktemp)
-trap 'rm -f "$raw" "$scrape" "$amort1" "$amort8" "$amort32"' EXIT
+fleetclient=$(mktemp)
+repa=$(mktemp)
+repb=$(mktemp)
+container=$(mktemp)
+daemonbin=$(mktemp)
+dloga=$(mktemp)
+dlogb=$(mktemp)
+pida=""
+pidb=""
+cleanup() {
+	for pid in $pida $pidb; do
+		kill "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	pida=""
+	pidb=""
+	rm -f "$raw" "$scrape" "$amort1" "$amort8" "$amort32" \
+		"$fleetclient" "$repa" "$repb" "$container" "$daemonbin" "$dloga" "$dlogb"
+}
+trap cleanup EXIT
 
 benchtime=${BENCH_TIME:-1s}
 loadqueries=${BENCH_LOAD_QUERIES:-25}
@@ -34,10 +60,12 @@ loadqueries=${BENCH_LOAD_QUERIES:-25}
 # AF's per-query cluster budget (8) is exhausted by some endpoint pairs
 # that deeper sweeps reach.
 amortqueries=${BENCH_AMORT_QUERIES:-6}
+fleetqueries=${BENCH_FLEET_QUERIES:-8}
 if [ "${BENCH_SMOKE:-0}" = "1" ]; then
 	benchtime=1x
 	loadqueries=3
 	amortqueries=2
+	fleetqueries=2
 fi
 
 go test ./internal/pir/ -run '^$' \
@@ -65,7 +93,53 @@ GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 1 -queries 
 GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 8 -queries "$amortqueries" >"$amort8"
 GOMAXPROCS="$amortprocs" go run ./bench/serveload -pir xorpir -conns 32 -queries "$amortqueries" >"$amort32"
 
+# Two-server fan-out: build the CI container once, serve the identical
+# bytes from two -replica-role daemons (each answers only selector shares
+# and never reconstructs a page), and drive serveload -fleet through both.
+# Each replica's own /metrics supplies its scan counters for the per-
+# replica scans/s figures; the fleet client scrape is appended to the
+# serving scrape so the fan-out latency histogram is summarized alongside
+# the per-scheme ones.
+go build -o "$daemonbin" ./cmd/privspd
+go run ./cmd/privsp build -preset Oldenburg -scale 0.05 -scheme CI -seed 1 -out "$container"
+porta=$((23000 + $$ % 8000))
+admina=$((porta + 1))
+portb=$((porta + 2))
+adminb=$((porta + 3))
+"$daemonbin" -db "$container" -pir xorpir -replica-role \
+	-listen "127.0.0.1:$porta" -admin "127.0.0.1:$admina" >"$dloga" 2>&1 &
+pida=$!
+"$daemonbin" -db "$container" -pir xorpir -replica-role \
+	-listen "127.0.0.1:$portb" -admin "127.0.0.1:$adminb" >"$dlogb" 2>&1 &
+pidb=$!
+for admin in "$admina" "$adminb"; do
+	ready=0
+	for _ in $(seq 1 100); do
+		if curl -fsS "http://127.0.0.1:$admin/healthz" >/dev/null 2>&1; then
+			ready=1
+			break
+		fi
+		sleep 0.2
+	done
+	if [ "$ready" != "1" ]; then
+		echo "bench: replica admin :$admin never came up" >&2
+		cat "$dloga" "$dlogb" >&2
+		exit 1
+	fi
+done
+go run ./bench/serveload -fleet "127.0.0.1:$porta,127.0.0.1:$portb" \
+	-scale 0.05 -conns 2 -queries "$fleetqueries" >"$fleetclient"
+curl -fsS "http://127.0.0.1:$admina/metrics" >"$repa"
+curl -fsS "http://127.0.0.1:$adminb/metrics" >"$repb"
+kill "$pida" "$pidb" 2>/dev/null || true
+wait "$pida" "$pidb" 2>/dev/null || true
+pida=""
+pidb=""
+cat "$fleetclient" >>"$scrape"
+
 go run ./bench/benchjson -metrics "$scrape" \
 	-amortize 1="$amort1" -amortize 8="$amort8" -amortize 32="$amort32" \
+	-fleet "$fleetclient" \
+	-fleet-replica "127.0.0.1:$porta=$repa" -fleet-replica "127.0.0.1:$portb=$repb" \
 	<"$raw" >"$out"
 echo "bench: wrote $out"

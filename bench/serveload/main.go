@@ -14,6 +14,15 @@
 // folds them into the scan_amortization section of the benchmark record.
 // -scan-workers additionally fans each merged scan across the segmented
 // parallel kernel, so the same harness exercises the parallel serving path.
+//
+// With -fleet host1,host2 the harness instead drives the two-server fan-out
+// path against EXTERNAL privspd replicas (started with -replica-role -pir
+// xorpir, serving a database built from the same preset/scale/seed): every
+// page read is split into XOR PIR selector shares sent to different
+// replicas and reconstructed locally. The scrape on stdout is then the
+// fleet CLIENT registry — fan-out round-trip histograms and per-replica
+// health — prefixed with a "# fleet_elapsed_seconds" comment so benchjson
+// -fleet can turn the replicas' own scan counters into per-replica scans/s.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"repro/internal/pagefile"
 	"repro/internal/pir"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/privsp"
 )
 
@@ -45,9 +55,17 @@ func main() {
 	scanCap := flag.Int("scan-cap", 0, "scan-scheduler batch page cap (0 = server default)")
 	scanWorkers := flag.Int("scan-workers", 0, "workers fanning out each PIR scan on parallel-capable stores (0 = size-aware default, 1 = serial kernel)")
 	seed := flag.Int64("seed", 1, "network generation seed")
+	fleetAddrs := flag.String("fleet", "", "comma-separated privspd replica addresses: drive the two-server share fan-out instead of hosting in-process (replicas must serve a database built from the same preset/scale/seed)")
 	flag.Parse()
 	log.SetPrefix("serveload: ")
 	log.SetFlags(0)
+
+	if *fleetAddrs != "" {
+		if err := runFleet(*fleetAddrs, *scale, *queries, *conns, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	stores, err := storeFactory(*pirStore)
 	if err != nil {
@@ -149,6 +167,70 @@ func run(schemes string, scale float64, queries, conns int, seed int64, opts ser
 	}
 
 	return srv.Telemetry().WritePrometheus(os.Stdout)
+}
+
+// runFleet drives the batch through the fleet fan-out client against
+// external replica daemons: every XOR PIR read becomes one selector share
+// per replica, reconstructed locally. Endpoints are derived from the same
+// generated network the replicas' database was built from, so the load is
+// the same one the in-process harness runs. The scrape printed on stdout
+// is the fleet CLIENT registry (fan-out latency, replica health), prefixed
+// with the run's wall time as a "# fleet_elapsed_seconds" comment line;
+// per-replica server-side counters live on each replica's own /metrics.
+func runFleet(fleetAddrs string, scale float64, queries, conns int, seed int64) error {
+	if conns < 1 {
+		conns = 1
+	}
+	var addrs []string
+	for _, a := range strings.Split(fleetAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	net0 := privsp.Generate(privsp.Oldenburg, scale, seed)
+	fs, err := privsp.DialFleetConfig(context.Background(), addrs, privsp.FleetConfig{
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	log.Printf("fleet of %d replicas, %s fan-out", len(addrs), fs.Mode())
+
+	n := privsp.NodeID(net0.NumNodes())
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				s := privsp.NodeID(i*7+c*11) % n
+				d := privsp.NodeID(i*13+c*3+5) % n
+				if _, err := fs.ShortestPath(context.Background(),
+					net0.NodePoint(s), net0.NodePoint(d)); err != nil {
+					errs <- fmt.Errorf("fleet conn %d query %d: %v", c, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	st := fs.Status()
+	log.Printf("fleet: %d conns x %d queries in %v (%d paired, %d degraded)",
+		conns, queries, elapsed.Round(time.Millisecond), st.PairedQueries, st.DegradedQueries)
+
+	fmt.Printf("# fleet_elapsed_seconds %g\n", elapsed.Seconds())
+	return telemetry.Default().WritePrometheus(os.Stdout)
 }
 
 // load runs one connection's share of the batch: `queries` shortest-path

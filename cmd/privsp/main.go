@@ -17,6 +17,13 @@
 //
 //	privsp query -remote localhost:7465 -db CI -preset Oldenburg -scale 0.05 -s 3 -t 99
 //	privsp stats -remote localhost:7465
+//
+// With -fleet, query fans each XOR PIR read out as selector shares across
+// two (or more) privspd replicas started with -replica-role, so no single
+// server can reconstruct what was read; stats prints per-replica counters:
+//
+//	privsp query -fleet host1:7465,host2:7465 -preset Oldenburg -scale 0.05 -s 3 -t 99
+//	privsp stats -fleet host1:7465,host2:7465
 package main
 
 import (
@@ -49,6 +56,7 @@ func main() {
 	srcNode := fs.Int("s", 0, "query source node id")
 	dstNode := fs.Int("t", 1, "query destination node id")
 	remote := fs.String("remote", "", "privspd daemon address; query/stats run over the wire")
+	fleetAddrs := fs.String("fleet", "", "comma-separated privspd replica addresses; query fans XOR PIR selector shares across them (stats prints per-replica counters)")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); dialing always has a connect timeout")
 	database := fs.String("db", "", "remote database name (empty = the daemon's sole database)")
 	out := fs.String("out", "", "build: write the database as a .psdb container to this path")
@@ -74,9 +82,17 @@ func main() {
 		defer cancel()
 	}
 
+	if *remote != "" && *fleetAddrs != "" {
+		fatal(fmt.Errorf("-remote and -fleet are mutually exclusive"))
+	}
+
 	if cmd == "stats" {
+		if *fleetAddrs != "" {
+			fleetStats(ctx, splitAddrs(*fleetAddrs), *database)
+			return
+		}
 		if *remote == "" {
-			fatal(fmt.Errorf("stats needs -remote"))
+			fatal(fmt.Errorf("stats needs -remote or -fleet"))
 		}
 		rsrv, err := privsp.DialDatabaseContext(ctx, *remote, *database)
 		if err != nil {
@@ -165,7 +181,20 @@ func main() {
 		}
 	case "query":
 		var srv privsp.PathService
-		if *remote != "" {
+		if *fleetAddrs != "" {
+			fsrv, err := privsp.DialFleetConfig(ctx, splitAddrs(*fleetAddrs), privsp.FleetConfig{
+				Database: *database,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer fsrv.Close()
+			fmt.Printf("fleet %s hosting %s (%s fan-out)\n", *fleetAddrs, fsrv.Scheme(), fsrv.Mode())
+			srv = fsrv
+		} else if *remote != "" {
 			rsrv, err := privsp.DialDatabaseContext(ctx, *remote, *database)
 			if err != nil {
 				fatal(err)
@@ -204,13 +233,56 @@ func main() {
 		fmt.Printf("simulated response %.2fs (PIR %.2fs, comm %.2fs, client %.4fs, server %.2fs)\n",
 			res.Stats.Response().Seconds(), res.Stats.PIR.Seconds(), res.Stats.Comm.Seconds(),
 			res.Stats.Client.Seconds(), res.Stats.Server.Seconds())
-		if _, ok := srv.(*privsp.RemoteServer); ok {
+		switch srv.(type) {
+		case *privsp.RemoteServer:
 			fmt.Printf("server-observed trace (adversarial view):\n%s", serverTrace)
+		case *privsp.FleetServer:
+			fmt.Printf("per-replica trace (each server's whole adversarial view):\n%s", serverTrace)
 		}
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// fleetStats dials the whole fleet and prints one block per replica: its
+// breaker state, then the daemon's serving counters when reachable.
+func fleetStats(ctx context.Context, addrs []string, database string) {
+	fsrv, err := privsp.DialFleetConfig(ctx, addrs, privsp.FleetConfig{Database: database})
+	if err != nil {
+		fatal(err)
+	}
+	defer fsrv.Close()
+	st := fsrv.Status()
+	fmt.Printf("fleet of %d replicas, %s fan-out\n", len(st.Replicas), st.Mode)
+	for _, rs := range fsrv.ReplicaStats(ctx) {
+		state := "up"
+		if !rs.Up {
+			state = fmt.Sprintf("DOWN (%v)", rs.LastErr)
+		}
+		fmt.Printf("replica %s: %s, breaker trips %d\n", rs.Addr, state, rs.Trips)
+		if rs.StatsErr != nil {
+			fmt.Printf("  stats unavailable: %v\n", rs.StatsErr)
+			continue
+		}
+		fmt.Printf("  conns: %d active, %d total\n", rs.Stats.ActiveConns, rs.Stats.TotalConns)
+		for _, db := range rs.Stats.Databases {
+			fmt.Printf("  %s (%s): %d queries (%d in-flight, %d cancelled, %d deadline), %d PIR pages served, pool %d/%d busy (%d queued)\n",
+				db.Name, db.Scheme, db.Queries, db.InFlight, db.Cancelled, db.DeadlineExceeded,
+				db.PagesServed, db.BusyWorkers, db.Workers, db.QueuedReads)
+		}
+	}
+}
+
+// splitAddrs parses the comma-separated -fleet flag.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func presetByName(name string) (privsp.Preset, bool) {
@@ -232,5 +304,5 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: privsp <generate|build|plan|query|audit|stats> [flags]
-run "privsp <cmd> -h" for flags; query and stats accept -remote <addr>`)
+run "privsp <cmd> -h" for flags; query and stats accept -remote <addr> or -fleet <addr1,addr2>`)
 }

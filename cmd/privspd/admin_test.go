@@ -229,10 +229,15 @@ func TestMetricsCatalog(t *testing.T) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			t.Fatalf("catalog line %q: want <family> <type>", line)
+		switch {
+		case len(fields) == 2 || (len(fields) == 3 && fields[2] == "daemon"):
+			catalog[fields[0]] = fields[1]
+		case len(fields) == 3 && fields[2] == "fleet":
+			// Fleet-client families: enforced against a fleet registry by
+			// internal/fleet's TestFleetMetricsCatalog, not the daemon scrape.
+		default:
+			t.Fatalf("catalog line %q: want <family> <type> [daemon|fleet]", line)
 		}
-		catalog[fields[0]] = fields[1]
 	}
 
 	var names []string

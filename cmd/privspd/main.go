@@ -78,6 +78,7 @@ func main() {
 	scanWindow := flag.Duration("scan-window", 0, "scan scheduler batching window for single-scan stores (0 = 2ms default; lone queries are never delayed)")
 	scanCap := flag.Int("scan-cap", 0, "max pages answered by one merged scan (0 = 256 default)")
 	scanWorkers := flag.Int("scan-workers", 0, "workers fanning out each PIR scan on parallel-capable stores, capped by -workers (0 = size-aware default, 1 = serial kernel)")
+	replicaRole := flag.Bool("replica-role", false, "serve as a non-reconstructing fleet replica: answer only XOR PIR selector shares (FetchShare), reject plain page fetches; requires -pir xorpir (clients fan out with privsp.DialFleet)")
 	adminAddr := flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:6060; empty = disabled)")
 	pprofAddr := flag.String("pprof", "", "serve the admin endpoints on this additional address (historical alias of -admin)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
@@ -100,6 +101,7 @@ func main() {
 		EdgesFile:   *edgesFile,
 		PIRStore:    *pirStore,
 		ScanWorkers: *scanWorkers,
+		ReplicaRole: *replicaRole,
 		Explicit:    explicit,
 	}
 	warnings, err := cfg.validate()
@@ -117,6 +119,7 @@ func main() {
 		ScanWindow:   *scanWindow,
 		ScanBatchCap: *scanCap,
 		ScanWorkers:  *scanWorkers,
+		ReplicaRole:  *replicaRole,
 	})
 	if len(cfg.DBFiles) > 0 {
 		for _, path := range cfg.DBFiles {
@@ -235,6 +238,7 @@ type daemonConfig struct {
 	EdgesFile   string
 	PIRStore    string
 	ScanWorkers int
+	ReplicaRole bool
 	// Explicit lists the flag names the user actually set (flag.Visit).
 	Explicit []string
 }
@@ -256,6 +260,10 @@ func (c daemonConfig) validate() (warnings []string, err error) {
 	case "", "plain", "xorpir":
 	default:
 		return nil, fmt.Errorf("unknown -pir store %q (use plain or xorpir)", c.PIRStore)
+	}
+	if c.ReplicaRole && c.PIRStore != "xorpir" {
+		return nil, fmt.Errorf("-replica-role answers XOR PIR selector shares and requires -pir xorpir (got %q)",
+			orDefault(c.PIRStore, "plain"))
 	}
 	if c.ScanWorkers < 0 {
 		return nil, fmt.Errorf("-scan-workers must be >= 0 (0 = size-aware default, 1 = serial kernel), got %d", c.ScanWorkers)
@@ -308,6 +316,14 @@ func storeFactory(name string) lbs.StoreFactory {
 		return func(f pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(f) }
 	}
 	return nil
+}
+
+// orDefault substitutes a default for an empty flag value in messages.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // splitList parses a comma-separated flag, dropping empty entries.

@@ -130,6 +130,25 @@ func TestValidateFlagCombinations(t *testing.T) {
 			cfg: daemonConfig{DBFiles: []string{"ci.psdb"}, PIRStore: "xorpir", ScanWorkers: 4,
 				Explicit: []string{"db", "pir", "scan-workers"}},
 		},
+		{
+			name: "replica role with xorpir",
+			cfg:  daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, PIRStore: "xorpir", ReplicaRole: true},
+		},
+		{
+			name:    "replica role requires xorpir",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, ReplicaRole: true},
+			wantErr: "-replica-role answers XOR PIR selector shares and requires -pir xorpir",
+		},
+		{
+			name:    "replica role rejects plain store",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, PIRStore: "plain", ReplicaRole: true},
+			wantErr: "requires -pir xorpir",
+		},
+		{
+			name: "replica role with db path",
+			cfg: daemonConfig{DBFiles: []string{"ci.psdb"}, PIRStore: "xorpir", ReplicaRole: true,
+				Explicit: []string{"db", "pir", "replica-role"}},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,10 +4,21 @@
 // information-theoretic XOR PIR, and Kushilevitz–Ostrovsky computational
 // PIR from quadratic residuosity. It also prints what the server actually
 // observes for the ORAM, demonstrating access-pattern independence.
+//
+// With -fleet the demo becomes three OS processes — the deployment the
+// two-server model actually assumes. The parent spawns two copies of
+// itself as -replica daemons (real privspd serving machinery in
+// -replica-role: selector shares only, no page reconstruction possible),
+// splits one page read into a uniform share and its single-bit-flipped
+// complement, sends one share to each process over the real wire protocol,
+// and XORs the two answers back into the page locally. Neither process
+// alone learns the page index; the parent prints both shares, both
+// answers, and each replica's recorded adversarial view to show it.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -17,15 +28,26 @@ import (
 )
 
 func main() {
-	const pages, pageSize = 16, 64
-	data := make([][]byte, pages)
-	for i := range data {
-		data[i] = make([]byte, pageSize)
-		copy(data[i], fmt.Sprintf("secret page %02d", i))
+	replica := flag.Bool("replica", false, "run as a fleet replica child process: host the demo pages in -replica-role and serve until killed")
+	fleetMode := flag.Bool("fleet", false, "two-process fleet demo: spawn two -replica children and reconstruct a page from their XOR PIR share answers")
+	flag.Parse()
+	switch {
+	case *replica:
+		if err := runReplica(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *fleetMode:
+		if err := runFleet(); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
+	data := demoPages()
+
 	fmt.Println("-- square-root ORAM (the SCP-style oblivious store) --")
-	oram, err := pir.NewSqrtORAM(pagefile.SlicePages("F", pageSize, data), 1)
+	oram, err := pir.NewSqrtORAM(pagefile.SlicePages("F", demoPageSize, data), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,12 +60,13 @@ func main() {
 	fmt.Println("\n   (positions are fresh-random whatever the logical pattern)")
 
 	fmt.Println("\n-- two-server XOR PIR (information-theoretic) --")
-	x, err := pir.NewXORPIR(pagefile.SlicePages("F", pageSize, data))
+	x, err := pir.NewXORPIR(pagefile.SlicePages("F", demoPageSize, data))
 	if err != nil {
 		log.Fatal(err)
 	}
 	demo("XORPIR", x)
-	fmt.Printf("   each server saw a uniformly random subset of %d pages\n", pages)
+	fmt.Printf("   each server saw a uniformly random subset of %d pages\n", demoPageCount)
+	fmt.Println("   (run with -fleet to split the two servers into two real processes)")
 
 	// Batched reads take the query's context: the serving layer checks it
 	// between page retrievals, so a cancelled query stops a long batch at a

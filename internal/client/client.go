@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,8 +70,11 @@ type Client struct {
 	// Immutable after the handshake.
 	scheme   string
 	database string
+	flags    uint16
 	files    map[string]lbs.FileInfo
+	order    []lbs.FileInfo // Welcome file table, in database order
 	model    costmodel.Params
+	addr     string
 
 	ctlMu sync.Mutex // serializes control (stats) request/response pairs
 
@@ -146,7 +150,10 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 	conn.SetDeadline(time.Time{})
 	c.scheme = w.Scheme
 	c.database = w.Database
+	c.flags = w.Flags
 	c.model = w.Model
+	c.addr = addr
+	c.order = w.Files
 	c.files = make(map[string]lbs.FileInfo, len(w.Files))
 	for _, f := range w.Files {
 		c.files[f.Name] = f
@@ -188,6 +195,32 @@ func (c *Client) Scheme() string { return c.scheme }
 
 // Database returns the name the daemon resolved the Hello to.
 func (c *Client) Database() string { return c.database }
+
+// Addr returns the address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// ShareCapable reports whether the daemon can answer XOR PIR selector
+// shares on every hosted file (Welcome capability flag).
+func (c *Client) ShareCapable() bool { return c.flags&wire.WelcomeShareCapable != 0 }
+
+// ReplicaRole reports whether the daemon runs as a non-reconstructing
+// fleet replica, rejecting plain Fetch frames (Welcome capability flag).
+func (c *Client) ReplicaRole() bool { return c.flags&wire.WelcomeReplicaRole != 0 }
+
+// Files returns the daemon's public file table, in database order.
+func (c *Client) Files() []lbs.FileInfo { return c.order }
+
+// FileInfo answers from the Welcome's public file table.
+func (c *Client) FileInfo(name string) (lbs.FileInfo, error) {
+	info, ok := c.files[name]
+	if !ok {
+		return lbs.FileInfo{}, fmt.Errorf("client: no such file %q", name)
+	}
+	return info, nil
+}
+
+// Model returns the cost-model parameters the daemon announced.
+func (c *Client) Model() costmodel.Params { return c.model }
 
 // Close tears the connection down: every in-flight query fails promptly.
 func (c *Client) Close() error {
@@ -301,6 +334,15 @@ func (e *serverError) Error() string { return "client: server: " + e.text }
 func IsServerReject(err error) bool {
 	var se *serverError
 	return errors.As(err, &se)
+}
+
+// IsServerShutdown reports whether err is a stopping daemon's proactive
+// notice for an in-flight query. The transport still worked — it is a
+// rejection, not a failure — but it announces the server is going away,
+// so failover logic (the fleet's breaker) treats it like a death.
+func IsServerShutdown(err error) bool {
+	var se *serverError
+	return errors.As(err, &se) && strings.Contains(se.text, "server shutting down")
 }
 
 // ServerStats fetches the daemon's serving counters, including the
@@ -458,11 +500,7 @@ func (q *Query) HeaderBytes(ctx context.Context) ([]byte, error) {
 // FileInfo answers from the Welcome's public file table without a round
 // trip.
 func (q *Query) FileInfo(name string) (lbs.FileInfo, error) {
-	info, ok := q.c.files[name]
-	if !ok {
-		return lbs.FileInfo{}, fmt.Errorf("client: no such file %q", name)
-	}
-	return info, nil
+	return q.c.FileInfo(name)
 }
 
 // NextRound is fire-and-forget: the frame rides in front of the round's
@@ -519,6 +557,53 @@ func (q *Query) readChunk(ctx context.Context, file string, pages []int) ([][]by
 	}
 	if len(resp.Pages) != len(pages) {
 		err := fmt.Errorf("client: got %d pages, want %d", len(resp.Pages), len(pages))
+		q.c.fail(err)
+		return nil, err
+	}
+	return resp.Pages, nil
+}
+
+// ReadShares ships XOR PIR selector shares in one FetchShare frame and
+// returns, per selector, the XOR of the selected pages. This is the fleet
+// client's half of two-server PIR: the daemon answers each share in a
+// single scan without ever reconstructing a page. Batches beyond the
+// frame's 16-bit count limit are chunked transparently, like ReadPages.
+func (q *Query) ReadShares(ctx context.Context, file string, sels [][]byte) ([][]byte, error) {
+	if err := q.begin(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(sels))
+	for start := 0; start < len(sels); start += wire.MaxFetchBatch {
+		end := start + wire.MaxFetchBatch
+		if end > len(sels) {
+			end = len(sels)
+		}
+		chunk, err := q.readShareChunk(ctx, file, sels[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (q *Query) readShareChunk(ctx context.Context, file string, sels [][]byte) ([][]byte, error) {
+	if q.fetchEnc == nil {
+		q.fetchEnc = pagefile.NewEnc(0)
+	}
+	q.fetchEnc.Reset()
+	req := wire.ShareFetch{File: file, Sels: sels}.EncodeTo(q.fetchEnc)
+	payload, err := q.roundTrip(ctx, wire.MsgFetchShare, req, wire.MsgPages)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodePages(payload)
+	if err != nil {
+		q.c.fail(err)
+		return nil, err
+	}
+	if len(resp.Pages) != len(sels) {
+		err := fmt.Errorf("client: got %d share answers, want %d", len(resp.Pages), len(sels))
 		q.c.fail(err)
 		return nil, err
 	}

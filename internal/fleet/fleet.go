@@ -1,0 +1,527 @@
+// Package fleet is the replica fan-out client of two-server PIR serving:
+// it holds one multiplexed connection per privspd replica and splits every
+// XOR PIR query into selector shares, sending each share to a DIFFERENT
+// replica process and XORing the answers locally. The non-collusion
+// assumption of Chor et al. — which the in-process pir.XORPIR can only
+// model — becomes real: each replica performs one scan, sees one uniform
+// bitvector, and (in -replica-role) physically cannot reconstruct a page,
+// while per-server compute halves.
+//
+// The same machinery serves plain read-replica mode for single-server
+// schemes: whole queries round-robin across N identical daemons. The
+// round-robin granularity is deliberately per QUERY, not per fetch —
+// every replica then records only complete canonical traces, so the
+// Theorem 1 trace-indistinguishability argument applies to each replica's
+// audit ring unchanged.
+//
+// Failover is health-checked and deterministic: a transport error trips
+// the replica's circuit breaker immediately (no threshold — one broken
+// fan-out is one broken query too many), a background prober re-dials it
+// until it answers, and while a shares-mode fleet is down to one replica,
+// queries demote to degraded single-server XOR PIR: both shares go to the
+// survivor, which then holds the same view as the in-process XORPIR — the
+// information-theoretic guarantee degrades to a trust assumption, so the
+// demotion is logged and counted loudly (privsp_fleet_degraded_queries_total).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/lbs"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Mode selects how queries spread across replicas.
+type Mode int
+
+const (
+	// ModeAuto resolves at dial time: ModeShares when every replica is
+	// share-capable and there are at least two, ModeMirror otherwise.
+	ModeAuto Mode = iota
+	// ModeShares splits each XOR PIR query into two selector shares sent to
+	// different replicas; reconstruction happens only client-side.
+	ModeShares
+	// ModeMirror sends each whole query to one replica, rotating per query.
+	ModeMirror
+)
+
+// String names the mode for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeShares:
+		return "shares"
+	case ModeMirror:
+		return "mirror"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DefaultProbeInterval is how often the health prober revisits replicas.
+const DefaultProbeInterval = 2 * time.Second
+
+// Options tunes a fleet.
+type Options struct {
+	// Database selects a hosted database by name on every replica; empty
+	// selects each daemon's sole database.
+	Database string
+	// Mode forces shares or mirror fan-out; ModeAuto picks by capability.
+	Mode Mode
+	// ProbeInterval is the health-prober period (re-dial of down replicas,
+	// liveness ping of up ones); 0 means DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// DialTimeout bounds each replica's TCP connect plus handshake; 0 means
+	// the client default.
+	DialTimeout time.Duration
+	// DisableDegraded refuses single-replica demotion in shares mode:
+	// queries fail with ErrReplicaDown instead of falling back to
+	// trust-one-server XOR PIR.
+	DisableDegraded bool
+	// Telemetry receives the fleet families; nil means telemetry.Default().
+	Telemetry *telemetry.Registry
+	// Logf receives failover events (replica down/up, degraded demotion);
+	// nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// replica is one privspd process in the fleet.
+type replica struct {
+	addr string
+
+	// Guarded by Fleet.mu.
+	c       *client.Client // nil while down
+	up      bool
+	lastErr error
+	trips   uint64 // breaker openings since dial
+
+	mUp     *telemetry.Gauge
+	mErrors *telemetry.Counter
+}
+
+// Fleet fans queries out across privspd replicas. Safe for concurrent use:
+// start one Query per in-flight query, from any goroutine.
+type Fleet struct {
+	opts     Options
+	mode     Mode
+	scheme   string
+	database string
+	model    costmodel.Params
+	files    map[string]lbs.FileInfo
+
+	mu       sync.Mutex
+	replicas []*replica
+	rr       uint64 // rotation counter for replica selection
+	closed   bool
+
+	stop chan struct{} // closes the prober
+	done chan struct{} // prober exited
+
+	m fleetMetrics
+}
+
+// Dial connects to every replica, validates that they serve the same
+// database (scheme, file table, cost model), resolves the fan-out mode,
+// and starts the health prober. All replicas must answer: a dead replica
+// fails the dial with a *ReplicaDownError naming it — a fleet deliberately
+// started degraded is a misconfiguration, not a failover.
+func Dial(ctx context.Context, addrs []string, opts Options) (*Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("fleet: no replica addresses")
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			return nil, fmt.Errorf("fleet: replica %s listed twice (shares would collude with themselves)", a)
+		}
+		seen[a] = true
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.Default()
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	f := &Fleet{
+		opts:     opts,
+		database: opts.Database,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	f.initTelemetry(addrs)
+
+	// Dial all replicas concurrently; the first failure wins and the rest
+	// are torn down.
+	clients := make([]*client.Client, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			c, err := client.DialContext(ctx, addr, client.Options{
+				Database:    opts.Database,
+				DialTimeout: opts.DialTimeout,
+			})
+			if err != nil {
+				errs[i] = &ReplicaDownError{Addr: addr, Err: err}
+				return
+			}
+			clients[i] = c
+		}(i, addr)
+	}
+	wg.Wait()
+	fail := func(err error) (*Fleet, error) {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		close(f.stop)
+		close(f.done)
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Every replica must serve the same database: shares XOR page contents
+	// across replicas, so diverging file tables corrupt answers silently.
+	ref := clients[0]
+	f.scheme, f.model = ref.Scheme(), ref.Model()
+	f.files = make(map[string]lbs.FileInfo, len(ref.Files()))
+	for _, fi := range ref.Files() {
+		f.files[fi.Name] = fi
+	}
+	for _, c := range clients[1:] {
+		if err := consistent(ref, c); err != nil {
+			return fail(err)
+		}
+	}
+
+	f.mode = opts.Mode
+	if f.mode == ModeAuto {
+		if len(clients) >= 2 && allShareCapable(clients) {
+			f.mode = ModeShares
+		} else {
+			f.mode = ModeMirror
+		}
+	}
+	switch f.mode {
+	case ModeShares:
+		if len(clients) < 2 {
+			return fail(fmt.Errorf("fleet: shares mode needs at least 2 replicas, got %d", len(clients)))
+		}
+		if !allShareCapable(clients) {
+			return fail(errors.New("fleet: shares mode needs share-capable replicas on every file (run the daemons with two-server XOR PIR stores)"))
+		}
+	case ModeMirror:
+		for _, c := range clients {
+			if c.ReplicaRole() {
+				return fail(fmt.Errorf("fleet: replica %s runs -replica-role (shares only) but the fleet resolved to mirror mode", c.Addr()))
+			}
+		}
+	default:
+		return fail(fmt.Errorf("fleet: unknown mode %v", f.mode))
+	}
+
+	for i, c := range clients {
+		rep := &replica{addr: addrs[i], c: c, up: true}
+		rep.mUp = f.m.replicaUp[addrs[i]]
+		rep.mErrors = f.m.replicaErrors[addrs[i]]
+		rep.mUp.Set(1)
+		f.replicas = append(f.replicas, rep)
+	}
+	go f.probeLoop()
+	return f, nil
+}
+
+// consistent verifies b serves the same database as a.
+func consistent(a, b *client.Client) error {
+	if a.Scheme() != b.Scheme() || a.Database() != b.Database() {
+		return fmt.Errorf("fleet: replicas disagree: %s serves %s/%s, %s serves %s/%s",
+			a.Addr(), a.Database(), a.Scheme(), b.Addr(), b.Database(), b.Scheme())
+	}
+	if a.Model() != b.Model() {
+		return fmt.Errorf("fleet: replicas %s and %s disagree on the cost model", a.Addr(), b.Addr())
+	}
+	fa, fb := a.Files(), b.Files()
+	if len(fa) != len(fb) {
+		return fmt.Errorf("fleet: replicas %s and %s disagree on the file table (%d vs %d files)",
+			a.Addr(), b.Addr(), len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return fmt.Errorf("fleet: replicas %s and %s disagree on file %q", a.Addr(), b.Addr(), fa[i].Name)
+		}
+	}
+	return nil
+}
+
+func allShareCapable(clients []*client.Client) bool {
+	for _, c := range clients {
+		if !c.ShareCapable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Mode returns the resolved fan-out mode.
+func (f *Fleet) Mode() Mode { return f.mode }
+
+// Scheme returns the replicated database's scheme name.
+func (f *Fleet) Scheme() string { return f.scheme }
+
+// Model returns the cost-model parameters the replicas announced.
+func (f *Fleet) Model() costmodel.Params { return f.model }
+
+// Close stops the prober and tears down every replica connection.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	close(f.stop)
+	for _, rep := range f.replicas {
+		if rep.c != nil {
+			rep.c.Close()
+		}
+	}
+	f.mu.Unlock()
+	<-f.done
+	return nil
+}
+
+// markDown opens a replica's breaker: its connection is closed, queries
+// stop selecting it, and only the prober's successful re-dial closes the
+// breaker again. Idempotent — concurrent queries hitting the same dead
+// replica trip it once.
+func (f *Fleet) markDown(rep *replica, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rep.lastErr = err
+	rep.mErrors.Inc()
+	if !rep.up {
+		return
+	}
+	rep.up = false
+	rep.trips++
+	if rep.c != nil {
+		rep.c.Close()
+		rep.c = nil
+	}
+	rep.mUp.Set(0)
+	f.opts.Logf("fleet: replica %s down (breaker open): %v", rep.addr, err)
+}
+
+// reportError classifies a replica error: daemon-side rejections leave the
+// connection (and the breaker) alone; transport failures trip the breaker
+// and surface as *ReplicaDownError.
+func (f *Fleet) reportError(rep *replica, err error) error {
+	if err == nil {
+		return nil
+	}
+	if !client.IsServerShutdown(err) &&
+		(client.IsServerReject(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	f.markDown(rep, err)
+	return &ReplicaDownError{Addr: rep.addr, Err: err}
+}
+
+// probeLoop is the health prober: every ProbeInterval it pings up replicas
+// (daemon stats on the control ID — no query session, no trace) and
+// re-dials down ones, closing the breaker on a successful handshake.
+func (f *Fleet) probeLoop() {
+	defer close(f.done)
+	t := time.NewTicker(f.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		reps := append([]*replica(nil), f.replicas...)
+		f.mu.Unlock()
+		for _, rep := range reps {
+			f.probe(rep)
+		}
+	}
+}
+
+func (f *Fleet) probe(rep *replica) {
+	f.mu.Lock()
+	up, c := rep.up, rep.c
+	f.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), f.opts.ProbeInterval)
+	defer cancel()
+	if up {
+		if _, err := c.ServerStats(ctx); err != nil && !client.IsServerReject(err) {
+			f.m.probeFail.Inc()
+			f.markDown(rep, err)
+		} else {
+			f.m.probeOK.Inc()
+		}
+		return
+	}
+	nc, err := client.DialContext(ctx, rep.addr, client.Options{
+		Database:    f.opts.Database,
+		DialTimeout: f.opts.DialTimeout,
+	})
+	if err != nil {
+		f.m.probeFail.Inc()
+		f.mu.Lock()
+		rep.lastErr = err
+		f.mu.Unlock()
+		return
+	}
+	f.m.probeOK.Inc()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		nc.Close()
+		return
+	}
+	rep.c, rep.up, rep.lastErr = nc, true, nil
+	rep.mUp.Set(1)
+	f.mu.Unlock()
+	f.opts.Logf("fleet: replica %s recovered (breaker closed)", rep.addr)
+}
+
+// pick returns up to n distinct up replicas, rotating the starting point
+// per call so load spreads evenly across a healthy fleet.
+func (f *Fleet) pick(n int) []*replica {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := f.rr
+	f.rr++
+	var picked []*replica
+	for i := 0; i < len(f.replicas) && len(picked) < n; i++ {
+		rep := f.replicas[(int(start)+i)%len(f.replicas)]
+		if rep.up {
+			picked = append(picked, rep)
+		}
+	}
+	return picked
+}
+
+// downError names a down replica for error surfaces: the first one with a
+// recorded failure, else the first down one.
+func (f *Fleet) downError() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rep := range f.replicas {
+		if !rep.up && rep.lastErr != nil {
+			return &ReplicaDownError{Addr: rep.addr, Err: rep.lastErr}
+		}
+	}
+	for _, rep := range f.replicas {
+		if !rep.up {
+			return &ReplicaDownError{Addr: rep.addr, Err: errors.New("replica unavailable")}
+		}
+	}
+	return errors.New("fleet: no replicas")
+}
+
+// ReplicaStatus is one replica's health snapshot.
+type ReplicaStatus struct {
+	Addr    string
+	Up      bool
+	Trips   uint64 // breaker openings since dial
+	LastErr error  // most recent failure; nil when healthy since dial
+}
+
+// Status snapshots the fleet: resolved mode, per-replica health, and the
+// query counts by fan-out mode (paired = both shares on distinct replicas,
+// degraded = both shares on the lone survivor, mirror = whole query on one
+// replica).
+type Status struct {
+	Mode            Mode
+	Replicas        []ReplicaStatus
+	PairedQueries   uint64
+	DegradedQueries uint64
+	MirrorQueries   uint64
+}
+
+// Status reports the fleet's health and accounting.
+func (f *Fleet) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Mode:            f.mode,
+		PairedQueries:   f.m.queriesPaired.Value(),
+		DegradedQueries: f.m.degraded.Value(),
+		MirrorQueries:   f.m.queriesMirror.Value(),
+	}
+	for _, rep := range f.replicas {
+		st.Replicas = append(st.Replicas, ReplicaStatus{
+			Addr: rep.addr, Up: rep.up, Trips: rep.trips, LastErr: rep.lastErr,
+		})
+	}
+	return st
+}
+
+// ReplicaStats is one replica's health plus its daemon-side serving
+// counters (zero-valued when the replica is down or unreachable).
+type ReplicaStats struct {
+	ReplicaStatus
+	Stats    wire.ServerStats
+	StatsErr error
+}
+
+// ReplicaServerStats fetches every replica's daemon statistics. Down
+// replicas report their status with a nil Stats and the breaker's error.
+func (f *Fleet) ReplicaServerStats(ctx context.Context) []ReplicaStats {
+	f.mu.Lock()
+	type probe struct {
+		rep *replica
+		c   *client.Client
+		st  ReplicaStatus
+	}
+	probes := make([]probe, 0, len(f.replicas))
+	for _, rep := range f.replicas {
+		probes = append(probes, probe{rep, rep.c, ReplicaStatus{
+			Addr: rep.addr, Up: rep.up, Trips: rep.trips, LastErr: rep.lastErr,
+		}})
+	}
+	f.mu.Unlock()
+	out := make([]ReplicaStats, 0, len(probes))
+	for _, p := range probes {
+		rs := ReplicaStats{ReplicaStatus: p.st}
+		if p.st.Up && p.c != nil {
+			stats, err := p.c.ServerStats(ctx)
+			if err != nil {
+				rs.StatsErr = f.reportError(p.rep, err)
+			} else {
+				rs.Stats = stats
+			}
+		} else {
+			rs.StatsErr = rs.LastErr
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// headersMatch is the paired-query integrity check: both replicas must
+// serve the identical public header.
+func headersMatch(a, b []byte) bool { return bytes.Equal(a, b) }

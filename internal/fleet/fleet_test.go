@@ -1,0 +1,334 @@
+package fleet_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/fleet"
+	"repro/internal/lbs"
+	"repro/internal/pagefile"
+	"repro/internal/pir"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// rawPages builds n deterministic ps-byte pages.
+func rawPages(n, ps int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	pages := make([][]byte, n)
+	for i := range pages {
+		pages[i] = make([]byte, ps)
+		rng.Read(pages[i])
+	}
+	return pages
+}
+
+// rawDB wraps pages in a single-file database — the minimal thing a daemon
+// can host, used to drive the fleet Backend directly.
+func rawDB(pages [][]byte, ps int) *lbs.Database {
+	return &lbs.Database{
+		Scheme: "RAW",
+		Header: []byte("raw fixture header\n"),
+		Files:  []pagefile.Reader{pagefile.SlicePages("pages", ps, pages)},
+		Plan:   plan.Plan{Rounds: []plan.Round{{Fetches: []plan.Fetch{{File: "pages", Count: 1}}}}},
+	}
+}
+
+// capture collects the XORPIR stores a daemon builds so tests can read
+// their share logs.
+type capture struct {
+	mu     sync.Mutex
+	stores []*pir.XORPIR
+}
+
+// pirXORStores is the two-server XOR PIR store factory the replica
+// daemons in these tests run with.
+func pirXORStores(r pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(r) }
+
+func (c *capture) factory(r pagefile.Reader) (pir.Store, error) {
+	x, err := pir.NewXORPIR(r)
+	if err != nil {
+		return nil, err
+	}
+	x.EnableShareLog(1024)
+	c.mu.Lock()
+	c.stores = append(c.stores, x)
+	c.mu.Unlock()
+	return x, nil
+}
+
+// startDaemon hosts db under name on a loopback listener. replica runs it
+// in -replica-role (share fetches only); cap, when non-nil, captures the
+// XORPIR stores. Plain (non-share-capable) daemons pass xor=false.
+func startDaemon(t testing.TB, name string, db *lbs.Database, replica, xor bool, cap *capture) (*server.Server, string) {
+	t.Helper()
+	opts := server.Options{Workers: 4, ReplicaRole: replica}
+	if cap != nil {
+		opts.Stores = cap.factory
+	} else if xor {
+		opts.Stores = pirXORStores
+	}
+	srv := server.New(opts)
+	if err := srv.Host(name, db, costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+// dialFleet dials with an isolated telemetry registry and short probes.
+func dialFleet(t testing.TB, addrs []string, opts fleet.Options) *fleet.Fleet {
+	t.Helper()
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 50 * time.Millisecond
+	}
+	f, err := fleet.Dial(context.Background(), addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// readOne runs one complete fan-out query reading a single page and
+// returns the page plus the replica-recorded trace.
+func readOne(t testing.TB, f *fleet.Fleet, page int) ([]byte, string) {
+	t.Helper()
+	ctx := context.Background()
+	q := f.StartQuery()
+	if err := q.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.ReadPages(ctx, "pages", []int{page})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := q.End(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d pages, want 1", len(got))
+	}
+	return got[0], trace
+}
+
+// TestDialValidation: misconfigured fleets fail at dial time with errors
+// that name the problem, not at first query with garbage answers.
+func TestDialValidation(t *testing.T) {
+	pages := rawPages(16, 8, 1)
+	db := rawDB(pages, 8)
+	_, addrA := startDaemon(t, "RAW", db, true, true, nil)
+	_, addrB := startDaemon(t, "RAW", db, true, true, nil)
+
+	t.Run("no addresses", func(t *testing.T) {
+		if _, err := fleet.Dial(context.Background(), nil, fleet.Options{Telemetry: telemetry.NewRegistry()}); err == nil {
+			t.Fatal("dial with no addresses succeeded")
+		}
+	})
+	t.Run("duplicate address", func(t *testing.T) {
+		_, err := fleet.Dial(context.Background(), []string{addrA, addrA}, fleet.Options{Telemetry: telemetry.NewRegistry()})
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("duplicate address: err = %v", err)
+		}
+	})
+	t.Run("dead replica", func(t *testing.T) {
+		// A listener that never answers the handshake, closed immediately:
+		// connecting fails fast.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := ln.Addr().String()
+		ln.Close()
+		_, err = fleet.Dial(context.Background(), []string{addrA, dead}, fleet.Options{Telemetry: telemetry.NewRegistry()})
+		if !errors.Is(err, fleet.ErrReplicaDown) {
+			t.Fatalf("dead replica: err = %v, want ErrReplicaDown", err)
+		}
+		var rd *fleet.ReplicaDownError
+		if !errors.As(err, &rd) || rd.Addr != dead {
+			t.Fatalf("dead replica: err = %v, want *ReplicaDownError for %s", err, dead)
+		}
+	})
+	t.Run("shares needs two", func(t *testing.T) {
+		_, err := fleet.Dial(context.Background(), []string{addrA},
+			fleet.Options{Mode: fleet.ModeShares, Telemetry: telemetry.NewRegistry()})
+		if err == nil || !strings.Contains(err.Error(), "at least 2") {
+			t.Fatalf("one-replica shares: err = %v", err)
+		}
+	})
+	t.Run("mirror refuses replica role", func(t *testing.T) {
+		_, err := fleet.Dial(context.Background(), []string{addrA, addrB},
+			fleet.Options{Mode: fleet.ModeMirror, Telemetry: telemetry.NewRegistry()})
+		if err == nil || !strings.Contains(err.Error(), "replica-role") {
+			t.Fatalf("mirror over replica-role daemons: err = %v", err)
+		}
+	})
+	t.Run("diverged file tables", func(t *testing.T) {
+		other := rawDB(rawPages(32, 8, 2), 8) // different page count
+		_, addrC := startDaemon(t, "RAW", other, true, true, nil)
+		_, err := fleet.Dial(context.Background(), []string{addrA, addrC}, fleet.Options{Telemetry: telemetry.NewRegistry()})
+		if err == nil || !strings.Contains(err.Error(), "disagree on file") {
+			t.Fatalf("diverged databases: err = %v", err)
+		}
+	})
+	t.Run("auto resolves shares", func(t *testing.T) {
+		f := dialFleet(t, []string{addrA, addrB}, fleet.Options{})
+		if f.Mode() != fleet.ModeShares {
+			t.Fatalf("auto mode = %v, want shares", f.Mode())
+		}
+	})
+}
+
+// TestMirrorRoundRobin: plain daemons get whole queries, rotated per
+// query so every replica records only complete canonical traces.
+func TestMirrorRoundRobin(t *testing.T) {
+	pages := rawPages(16, 8, 3)
+	db := rawDB(pages, 8)
+	srvA, addrA := startDaemon(t, "RAW", db, false, false, nil)
+	srvB, addrB := startDaemon(t, "RAW", db, false, false, nil)
+	f := dialFleet(t, []string{addrA, addrB}, fleet.Options{})
+	if f.Mode() != fleet.ModeMirror {
+		t.Fatalf("plain daemons resolved mode %v, want mirror", f.Mode())
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		got, _ := readOne(t, f, i%len(pages))
+		if !equalBytes(got, pages[i%len(pages)]) {
+			t.Fatalf("query %d: wrong page", i)
+		}
+	}
+	settle := func(srv *server.Server) uint64 {
+		var q uint64
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			q = 0
+			busy := false
+			for _, d := range srv.Stats().Databases {
+				q += d.Queries
+				if d.InFlight != 0 {
+					busy = true
+				}
+			}
+			if !busy {
+				return q
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("queries did not settle")
+		return 0
+	}
+	qa, qb := settle(srvA), settle(srvB)
+	if qa+qb != n || qa != qb {
+		t.Fatalf("mirror spread %d/%d queries, want %d/%d", qa, qb, n/2, n/2)
+	}
+	if st := f.Status(); st.MirrorQueries != n || st.PairedQueries != 0 || st.DegradedQueries != 0 {
+		t.Fatalf("status counts = %+v, want %d mirror only", st, n)
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFleetMetricsCatalog: the fleet client's registry and the
+// fleet-scoped lines of docs/metrics.catalog must agree bidirectionally,
+// with every family present eagerly on a freshly dialed fleet — the
+// mirror of cmd/privspd's TestMetricsCatalog for the daemon scope.
+func TestFleetMetricsCatalog(t *testing.T) {
+	pages := rawPages(16, 8, 4)
+	db := rawDB(pages, 8)
+	_, addrA := startDaemon(t, "RAW", db, true, true, nil)
+	_, addrB := startDaemon(t, "RAW", db, true, true, nil)
+	reg := telemetry.NewRegistry()
+	dialFleet(t, []string{addrA, addrB}, fleet.Options{Telemetry: reg})
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exported := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			exported[fields[2]] = fields[3]
+		}
+	}
+	if len(exported) == 0 {
+		t.Fatal("freshly dialed fleet exports no families — eager registration broke")
+	}
+
+	raw, err := os.ReadFile("../../docs/metrics.catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]string{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[2] == "fleet" {
+			catalog[fields[0]] = fields[1]
+		}
+	}
+	if len(catalog) == 0 {
+		t.Fatal("docs/metrics.catalog lists no fleet-scoped families")
+	}
+
+	var names []string
+	for name := range exported {
+		names = append(names, name)
+	}
+	for name := range catalog {
+		if _, ok := exported[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, exp := exported[name]
+		want, cat := catalog[name]
+		switch {
+		case !cat:
+			t.Errorf("fleet exports %s (%s) but docs/metrics.catalog does not list it as fleet-scoped", name, got)
+		case !exp:
+			t.Errorf("docs/metrics.catalog lists fleet family %s but a fresh fleet does not export it", name)
+		case got != want:
+			t.Errorf("%s: exported type %s, catalog says %s", name, got, want)
+		}
+	}
+}

@@ -231,9 +231,10 @@ type Server struct {
 // hostedStore is one file's PIR store plus the serving capabilities probed
 // once at host time, so the per-read path does no interface assertions.
 type hostedStore struct {
-	store pir.Store
-	batch pir.BatchStore // nil when the store cannot batch
-	into  pir.BatchInto  // nil when the store cannot fill caller buffers
+	store  pir.Store
+	batch  pir.BatchStore    // nil when the store cannot batch
+	into   pir.BatchInto     // nil when the store cannot fill caller buffers
+	shares pir.ShareAnswerer // nil when the store cannot answer XOR selector shares
 	// whole marks single-scan stores (pir.SingleScan): their batches are
 	// answered by one ReadBatch call on one pool slot — splitting would
 	// multiply full-file scans.
@@ -315,6 +316,7 @@ func NewServer(db *Database, model costmodel.Params, factory StoreFactory, opts 
 		hs := &hostedStore{store: st, scanWorkers: 1}
 		hs.batch, _ = st.(pir.BatchStore)
 		hs.into, _ = st.(pir.BatchInto)
+		hs.shares, _ = st.(pir.ShareAnswerer)
 		if ss, ok := st.(pir.SingleScan); ok {
 			hs.whole = ss.SingleScanBatch()
 		}
@@ -541,6 +543,60 @@ func (s *Server) ReadPagesInto(ctx context.Context, file string, pages []int, ds
 	return s.fanOut(ctx, file, len(pages), workers, func(ctx context.Context, start, end int) error {
 		return hs.readInto(ctx, pages[start:end], dst[start:end])
 	})
+}
+
+// ShareCapable reports whether every hosted file can answer XOR PIR
+// selector shares (pir.ShareAnswerer) — the capability a fleet replica
+// daemon advertises in its Welcome. All files or nothing: a fleet query
+// may touch any file, so partial capability is no capability.
+func (s *Server) ShareCapable() bool {
+	for _, hs := range s.stores {
+		if hs.shares == nil {
+			return false
+		}
+	}
+	return len(s.stores) > 0
+}
+
+// AnswerShares answers client-supplied XOR selector shares against one
+// file: dst[i] receives the XOR of the pages selected by sels[i]. This is
+// the replica half of two-server fleet mode — the store never reconstructs
+// a page. The whole batch rides one scan (k accumulators), weighted into
+// the worker pool like any other single-scan pass: it occupies the store's
+// scan-worker width. Selector lengths are validated against the store
+// before any slot is taken, so hostile lengths fail fast.
+func (s *Server) AnswerShares(ctx context.Context, file string, sels [][]byte, dst [][]byte) error {
+	hs, ok := s.stores[file]
+	if !ok {
+		return fmt.Errorf("lbs: no such file %q", file)
+	}
+	if hs.shares == nil {
+		return fmt.Errorf("lbs: file %q cannot answer selector shares (store is not two-server PIR)", file)
+	}
+	if len(dst) != len(sels) {
+		return fmt.Errorf("lbs: share fetch %s: %d buffers for %d selectors", file, len(dst), len(sels))
+	}
+	nb := hs.shares.SelectorBytes()
+	for i, sel := range sels {
+		if len(sel) != nb {
+			return fmt.Errorf("lbs: share fetch %s: selector %d is %d bytes, want %d", file, i, len(sel), nb)
+		}
+	}
+	if len(sels) == 0 {
+		return nil
+	}
+	s.routeWhole.Inc()
+	if err := s.acquireN(ctx, hs.scanWorkers); err != nil {
+		return err
+	}
+	defer s.releaseN(hs.scanWorkers)
+	if err := hs.shares.AnswerShares(ctx, sels, dst); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("lbs: share fetch %s: %w", file, err)
+	}
+	return nil
 }
 
 // readInto fills dst through the store's native BatchInto when it has one,

@@ -80,6 +80,26 @@ type SingleScan interface {
 	SingleScanBatch() bool
 }
 
+// ShareAnswerer is implemented by stores that can answer one half of a
+// two-server XOR PIR query: given client-supplied selector bitvectors (one
+// bit per page), return per selector the XOR of the pages whose bits are
+// set — without ever learning, or being able to learn, which page the
+// client wants. This is the server side of fleet mode: the client splits
+// each query into two shares and sends each to a different replica
+// process, so reconstruction happens only client-side. A single scan with
+// k accumulators answers a k-selector batch, exactly like SingleScan
+// batches — but at half the work of ReadBatch, which must scan for both
+// logical servers.
+type ShareAnswerer interface {
+	// SelectorBytes returns the required selector length: one bit per page,
+	// rounded up to whole bytes. Public information.
+	SelectorBytes() int
+	// AnswerShares writes, for each selector sels[i], the XOR of the
+	// selected pages into dst[i] (PageSize bytes each). Bits beyond
+	// NumPages are ignored. Safe for concurrent use.
+	AnswerShares(ctx context.Context, sels [][]byte, dst [][]byte) error
+}
+
 // BatchInto is implemented by stores that can write page contents into
 // caller-provided buffers — the allocation-free face of ReadBatch. dst must
 // hold len(pages) buffers of at least PageSize bytes each; on success each
@@ -203,4 +223,6 @@ var (
 
 	_ ParallelScan = (*XORPIR)(nil)
 	_ ParallelScan = (*KOPIR)(nil)
+
+	_ ShareAnswerer = (*XORPIR)(nil)
 )

@@ -1,0 +1,137 @@
+package pir
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"testing"
+)
+
+// xorPages folds the pages selected by sel into one page-sized XOR.
+func xorPages(pages [][]byte, sel []byte, pageSize int) []byte {
+	out := make([]byte, pageSize)
+	for p := range pages {
+		if sel[p/8]&(1<<(p%8)) != 0 {
+			for i, b := range pages[p] {
+				out[i] ^= b
+			}
+		}
+	}
+	return out
+}
+
+// TestAnswerSharesMatchesReference: the single-scan share path must return,
+// for every selector, exactly the XOR of the selected pages — including
+// the empty selector, the all-ones selector, and selectors with trailing
+// bits set beyond the page count (which must select nothing).
+func TestAnswerSharesMatchesReference(t *testing.T) {
+	for _, shape := range oddShapes {
+		pages := makePages(shape.n, shape.ps, int64(17*shape.n+shape.ps))
+		x, err := NewXORPIR(src(pages, shape.ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb := x.SelectorBytes()
+		if nb != (shape.n+7)/8 {
+			t.Fatalf("%dx%d: SelectorBytes %d", shape.n, shape.ps, nb)
+		}
+		sels := [][]byte{
+			make([]byte, nb),               // empty: XOR of nothing
+			bytes.Repeat([]byte{0xFF}, nb), // everything, trailing bits included
+			make([]byte, nb),               // random
+		}
+		if _, err := rand.Read(sels[2]); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([][]byte, len(sels))
+		for i := range dst {
+			dst[i] = make([]byte, shape.ps)
+		}
+		if err := x.AnswerShares(context.Background(), sels, dst); err != nil {
+			t.Fatalf("%dx%d: %v", shape.n, shape.ps, err)
+		}
+		for i, sel := range sels {
+			want := xorPages(pages, sel, shape.ps)
+			if !bytes.Equal(dst[i], want) {
+				t.Fatalf("%dx%d: share answer %d wrong", shape.n, shape.ps, i)
+			}
+		}
+	}
+}
+
+// TestAnswerSharesReconstruct: splitting a query into selA and
+// selA ^ e_target and XORing the two share answers — what the fleet client
+// does across two replica daemons — must yield the target page exactly.
+func TestAnswerSharesReconstruct(t *testing.T) {
+	const n, ps = 37, 48
+	pages := makePages(n, ps, 7)
+	x, err := NewXORPIR(src(pages, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := x.SelectorBytes()
+	for target := 0; target < n; target++ {
+		selA := make([]byte, nb)
+		if _, err := rand.Read(selA); err != nil {
+			t.Fatal(err)
+		}
+		selB := append([]byte(nil), selA...)
+		selB[target/8] ^= 1 << (target % 8)
+		dst := [][]byte{make([]byte, ps), make([]byte, ps)}
+		if err := x.AnswerShares(context.Background(), [][]byte{selA, selB}, dst); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, ps)
+		for i := range got {
+			got[i] = dst[0][i] ^ dst[1][i]
+		}
+		if !bytes.Equal(got, pages[target]) {
+			t.Fatalf("target %d: reconstruction wrong", target)
+		}
+	}
+}
+
+// TestAnswerSharesValidation: length mismatches are rejected, empty
+// batches are no-ops, and the share log retains what arrived (bounded).
+func TestAnswerSharesValidation(t *testing.T) {
+	const n, ps = 10, 16
+	pages := makePages(n, ps, 3)
+	x, err := NewXORPIR(src(pages, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := x.SelectorBytes()
+	if err := x.AnswerShares(context.Background(), [][]byte{make([]byte, nb+1)},
+		[][]byte{make([]byte, ps)}); err == nil {
+		t.Error("oversized selector accepted")
+	}
+	if err := x.AnswerShares(context.Background(), [][]byte{make([]byte, nb)}, nil); err == nil {
+		t.Error("missing dst accepted")
+	}
+	if err := x.AnswerShares(context.Background(), nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+
+	x.EnableShareLog(3)
+	for i := 0; i < 5; i++ {
+		sel := make([]byte, nb)
+		sel[0] = byte(i + 1)
+		if err := x.AnswerShares(context.Background(), [][]byte{sel},
+			[][]byte{make([]byte, ps)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := x.ShareLog()
+	if len(log) != 3 {
+		t.Fatalf("share log kept %d entries, want 3", len(log))
+	}
+	for i, sel := range log {
+		if sel[0] != byte(i+3) {
+			t.Errorf("log entry %d: first byte %d, want %d (oldest dropped first)", i, sel[0], i+3)
+		}
+	}
+	x.EnableShareLog(0)
+	if len(x.ShareLog()) != 0 {
+		t.Error("disabling the share log did not clear it")
+	}
+}

@@ -43,6 +43,14 @@ type XORPIR struct {
 	lastMu                 sync.Mutex
 	lastBatchA, lastBatchB [][]byte
 
+	// shareMu guards the share log: the selector vectors this store
+	// answered via AnswerShares, in arrival order, kept only when a test
+	// enabled it (the fleet Theorem-1 test chi-squares what each replica
+	// daemon actually received over the wire).
+	shareMu  sync.Mutex
+	shareLog [][]byte
+	shareCap int
+
 	scanCounters
 }
 
@@ -269,6 +277,87 @@ func (x *XORPIR) LastBatchQueries() (a, b [][]byte) {
 		b[j] = append([]byte(nil), x.lastBatchB[j]...)
 	}
 	return a, b
+}
+
+// SelectorBytes implements ShareAnswerer: one bit per page, whole bytes.
+func (x *XORPIR) SelectorBytes() int { return x.selBytes() }
+
+// AnswerShares implements ShareAnswerer: one scan with k accumulators
+// answers all k client-supplied selectors. This is the replica half of
+// fleet mode — the store never sees the companion share, never
+// reconstructs a page, and performs half the work of ReadBatch (which
+// scans once per logical server). Bits beyond numPages select nothing:
+// the kernel walks only the numPages real rows.
+func (x *XORPIR) AnswerShares(ctx context.Context, sels [][]byte, dst [][]byte) error {
+	if len(dst) != len(sels) {
+		return fmt.Errorf("pir: %d buffers for %d selectors", len(dst), len(sels))
+	}
+	nbytes := x.selBytes()
+	for i, sel := range sels {
+		if len(sel) != nbytes {
+			return fmt.Errorf("pir: selector %d is %d bytes, want %d", i, len(sel), nbytes)
+		}
+	}
+	if len(sels) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	k := len(sels)
+	sc := x.getScratch(k)
+	defer x.scratch.Put(sc)
+	accs := sc.accsA
+	clearWords(sc.accbuf[:k*x.a.arena.wpp])
+	if nw := x.ScanWorkers(); nw > 1 {
+		x.answerAllParallel(x.taskPool, x.a.arena, sels, accs, nw)
+	} else {
+		x.a.arena.answerAll(sels, accs)
+	}
+	// One full-file pass, whatever the batch size.
+	x.recordScan(uint64(x.numPages), 1)
+	x.logShares(sels)
+	for j := range sels {
+		unpackWords(dst[j][:x.pageSize], accs[j])
+	}
+	return nil
+}
+
+// EnableShareLog retains the most recent n selector vectors AnswerShares
+// received (0 disables and clears). Test observability for the fleet
+// privacy tests; off by default so serving replicas retain nothing.
+func (x *XORPIR) EnableShareLog(n int) {
+	x.shareMu.Lock()
+	defer x.shareMu.Unlock()
+	x.shareCap = n
+	if n == 0 {
+		x.shareLog = nil
+	}
+}
+
+func (x *XORPIR) logShares(sels [][]byte) {
+	x.shareMu.Lock()
+	defer x.shareMu.Unlock()
+	if x.shareCap == 0 {
+		return
+	}
+	for _, sel := range sels {
+		x.shareLog = append(x.shareLog, append([]byte(nil), sel...))
+	}
+	if drop := len(x.shareLog) - x.shareCap; drop > 0 {
+		x.shareLog = append(x.shareLog[:0], x.shareLog[drop:]...)
+	}
+}
+
+// ShareLog returns copies of the retained selector vectors, oldest first.
+func (x *XORPIR) ShareLog() [][]byte {
+	x.shareMu.Lock()
+	defer x.shareMu.Unlock()
+	out := make([][]byte, len(x.shareLog))
+	for i, sel := range x.shareLog {
+		out[i] = append([]byte(nil), sel...)
+	}
+	return out
 }
 
 // SingleScanBatch implements SingleScan: a batch costs one scan regardless

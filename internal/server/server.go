@@ -59,6 +59,12 @@ type Options struct {
 	// Workers per database; 1 forces the serial kernel; 0 means each
 	// store's size-aware default (GOMAXPROCS, shrunk for small files).
 	ScanWorkers int
+	// ReplicaRole runs the daemon as a non-reconstructing fleet replica:
+	// plain Fetch frames are rejected and only FetchShare is served, so the
+	// process never holds both XOR PIR shares of any query and could not
+	// reconstruct a page even if compromised. Requires share-capable stores
+	// (pir.ShareAnswerer, e.g. XOR PIR) on every hosted file.
+	ReplicaRole bool
 	// Logf receives serving events; nil disables logging.
 	Logf func(format string, args ...any)
 	// Telemetry receives every serving metric this daemon records; nil
@@ -176,6 +182,9 @@ func (s *Server) Host(name string, db *lbs.Database, model costmodel.Params) err
 func (s *Server) HostLBS(name string, lsrv *lbs.Server) error {
 	if name == "" {
 		return errors.New("server: empty database name")
+	}
+	if s.opts.ReplicaRole && !lsrv.ShareCapable() {
+		return fmt.Errorf("server: replica role requires share-capable stores on every file of %q (use two-server XOR PIR)", name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -321,11 +330,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // decode, PIR read, response encode — perform zero allocations (see
 // TestSteadyStateFetchZeroAllocs).
 type fetchScratch struct {
-	req  wire.Fetch
-	idx  []int
-	flat []byte   // one backing array for all page buffers
-	bufs [][]byte // page buffers, cut from flat
-	enc  *pagefile.Enc
+	req      wire.Fetch
+	shareReq wire.ShareFetch // decoded FetchShare; selectors alias the frame buffer
+	idx      []int
+	flat     []byte   // one backing array for all page buffers
+	bufs     [][]byte // page buffers, cut from flat
+	enc      *pagefile.Enc
 }
 
 var fetchPool = sync.Pool{New: func() any { return &fetchScratch{enc: pagefile.NewEnc(0)} }}
@@ -373,6 +383,39 @@ func (s *Server) answerFetch(ctx context.Context, h *hosted, sc *fetchScratch) (
 	scan := telemetry.Begin(ctx, "scan")
 	t0 := time.Now()
 	err = h.srv.ReadPagesInto(ctx, sc.req.File, sc.idx, sc.bufs)
+	h.m.scanLat.Observe(int64(time.Since(t0)))
+	scan.End()
+	if err != nil {
+		return nil, err
+	}
+	enc := telemetry.Begin(ctx, "encode")
+	t0 = time.Now()
+	sc.enc.Reset()
+	payload := wire.Pages{Pages: sc.bufs}.EncodeTo(sc.enc)
+	h.m.encodeLat.Observe(int64(time.Since(t0)))
+	enc.End()
+	return payload, nil
+}
+
+// answerShareFetch serves one decoded FetchShare (held in sc.shareReq): the
+// XOR-accumulated answer to each client-supplied selector share is computed
+// in one scan (lbs.Server.AnswerShares) and encoded as a MsgPages payload —
+// one page-sized XOR per selector, in request order. The selectors alias the
+// frame buffer, which stays pinned for the duration of the call. Selector
+// lengths are validated inside AnswerShares against the store's own
+// SelectorBytes, so hostile lengths fail before any slot is taken. The
+// returned payload aliases sc and is valid until the scratch is reused.
+func (s *Server) answerShareFetch(ctx context.Context, h *hosted, sc *fetchScratch) ([]byte, error) {
+	info, err := h.srv.FileInfo(sc.shareReq.File)
+	if err != nil {
+		return nil, err
+	}
+	sc.grow(len(sc.shareReq.Sels), info.PageSize)
+	h.m.batchSize.Observe(int64(len(sc.shareReq.Sels)))
+	h.m.shareFetches.Inc()
+	scan := telemetry.Begin(ctx, "scan")
+	t0 := time.Now()
+	err = h.srv.AnswerShares(ctx, sc.shareReq.File, sc.shareReq.Sels, sc.bufs)
 	h.m.scanLat.Observe(int64(time.Since(t0)))
 	scan.End()
 	if err != nil {

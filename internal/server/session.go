@@ -205,6 +205,12 @@ func (ss *session) handshake() error {
 			Files:    db.srv.Files(),
 			Model:    db.srv.Model(),
 		}
+		if db.srv.ShareCapable() {
+			welcome.Flags |= wire.WelcomeShareCapable
+		}
+		if ss.s.opts.ReplicaRole {
+			welcome.Flags |= wire.WelcomeReplicaRole
+		}
 	}
 	return ss.send(wire.MsgWelcome, wire.ControlID, welcome.Encode())
 }
@@ -331,6 +337,12 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 		return false
 
 	case wire.MsgFetch:
+		if ss.s.opts.ReplicaRole {
+			// A replica never reconstructs: it answers selector shares only,
+			// so this process cannot hold both halves of any query.
+			ss.sendErr(q.id, "replica serves selector shares only (send FetchShare, not Fetch)")
+			return false
+		}
 		sc := fetchPool.Get().(*fetchScratch)
 		defer fetchPool.Put(sc)
 		if err := sc.req.DecodeInto(f.payload); err != nil {
@@ -360,6 +372,39 @@ func (ss *session) handleQueryFrame(q *query, f sframe) bool {
 			q.trace.WriteByte('\n')
 		}
 		q.fetched += uint64(len(sc.req.Pages))
+		ss.send(wire.MsgPages, q.id, payload)
+		return false
+
+	case wire.MsgFetchShare:
+		sc := fetchPool.Get().(*fetchScratch)
+		defer fetchPool.Put(sc)
+		// The selectors alias the frame buffer, which stays pinned until the
+		// answer is computed and encoded (runQuery returns it after this).
+		if err := sc.shareReq.DecodeInto(f.payload); err != nil {
+			ss.sendErr(q.id, "%v", err)
+			return false
+		}
+		if len(sc.shareReq.Sels) == 0 {
+			ss.sendErr(q.id, "empty share fetch")
+			return false
+		}
+		payload, err := ss.s.answerShareFetch(q.ctx, ss.db, sc)
+		if err != nil {
+			if q.ctx.Err() != nil {
+				return true
+			}
+			ss.sendErr(q.id, "%v", err)
+			return false
+		}
+		// The adversarial view is identical to a plain fetch: file name and
+		// count only. The selector bits themselves are each replica's whole
+		// view of the PIR query and are uniformly random by construction.
+		for range sc.shareReq.Sels {
+			q.trace.WriteString("  fetch ")
+			q.trace.WriteString(sc.shareReq.File)
+			q.trace.WriteByte('\n')
+		}
+		q.fetched += uint64(len(sc.shareReq.Sels))
 		ss.send(wire.MsgPages, q.id, payload)
 		return false
 

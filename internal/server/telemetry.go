@@ -53,6 +53,7 @@ type hostedMetrics struct {
 	cancelDeadline *telemetry.Counter
 	cancelAbandon  *telemetry.Counter
 	cancelServer   *telemetry.Counter
+	shareFetches   *telemetry.Counter
 	queryLat       *telemetry.Histogram
 	batchSize      *telemetry.Histogram
 	scanLat        *telemetry.Histogram
@@ -88,6 +89,8 @@ func (s *Server) newHosted(name string, lsrv *lbs.Server) *hosted {
 			cancelHelp, dbl, telemetry.L("reason", "abandon")),
 		cancelServer: reg.Counter("privsp_server_query_cancelled_total",
 			cancelHelp, dbl, telemetry.L("reason", "server")),
+		shareFetches: reg.Counter("privsp_server_share_fetches_total",
+			"FetchShare frames answered (two-server fleet traffic; zero on non-fleet daemons)", dbl),
 		queryLat: reg.Histogram("privsp_server_query_seconds",
 			"wall-clock time from BeginQuery to EndQuery",
 			telemetry.Seconds(), dbl),

@@ -76,6 +76,34 @@ func FuzzDecodeBatchRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeShareFetch fuzzes the selector-share payload decoder — the v4
+// message a fleet client (or a hostile peer) aims at a replica daemon.
+// Accepted payloads must be canonical and respect the 16-bit batch bound.
+func FuzzDecodeShareFetch(f *testing.F) {
+	f.Add(ShareFetch{File: "Fd", Sels: [][]byte{{0xA5, 0x01}, {0x00, 0x02}}}.Encode())
+	f.Add(ShareFetch{File: "", Sels: nil}.Encode())
+	f.Add([]byte{0, 1, 'F', 0, 1, 0, 0, 0, 9, 1}) // selector length overruns payload
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeShareFetch(data)
+		if err != nil {
+			return
+		}
+		if len(m.Sels) > MaxFetchBatch {
+			t.Fatalf("decoded %d selectors, beyond the %d batch bound", len(m.Sels), MaxFetchBatch)
+		}
+		re := m.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, re)
+		}
+		m2, err := DecodeShareFetch(re)
+		if err != nil || m2.File != m.File || len(m2.Sels) != len(m.Sels) {
+			t.Fatalf("round trip diverged: %v", err)
+		}
+	})
+}
+
 // FuzzDecodeCancel fuzzes the Cancel payload decoder — the new v3 message a
 // hostile client sends to abort queries. Accepted payloads must be
 // canonical and carry exactly one reason byte.

@@ -44,7 +44,10 @@ import (
 // Version 3 put a query ID in every frame header (multiplexed queries),
 // added the Cancel message, and extended the per-database stats with the
 // in-flight gauge and the cancelled / deadline-exceeded counters.
-const ProtocolVersion = 3
+// Version 4 added capability flags to Welcome and the FetchShare message:
+// a client-supplied XOR PIR selector share answered without ever
+// reconstructing a page, the building block of two-server fleet mode.
+const ProtocolVersion = 4
 
 // DefaultMaxFrame bounds a single frame's payload; it must accommodate the
 // largest header file and the largest batched page fetch.
@@ -71,6 +74,7 @@ const (
 	MsgStatsReq                      // C→S: server statistics
 	MsgStats                         // S→C: the statistics
 	MsgCancel                        // C→S: abandon this frame's query (no reply)
+	MsgFetchShare                    // C→S: XOR PIR selector shares; answered by MsgPages
 )
 
 // String names a message type for diagnostics.
@@ -104,6 +108,8 @@ func (t MsgType) String() string {
 		return "Stats"
 	case MsgCancel:
 		return "Cancel"
+	case MsgFetchShare:
+		return "FetchShare"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -258,11 +264,25 @@ func DecodeHello(b []byte) (Hello, error) {
 	return m, decErr("Hello", d)
 }
 
-// Welcome acknowledges a session: the scheme, the public file table and the
-// cost-model parameters the client should simulate with.
+// Welcome capability flags. They describe the daemon, not the database: a
+// fleet client uses them to decide whether replicas can answer selector
+// shares, and whether plain page fetches would be rejected.
+const (
+	// WelcomeShareCapable: every hosted file sits on a store that answers
+	// XOR PIR selector shares (FetchShare works).
+	WelcomeShareCapable uint16 = 1 << 0
+	// WelcomeReplicaRole: the daemon runs as a non-reconstructing fleet
+	// replica and rejects plain Fetch frames.
+	WelcomeReplicaRole uint16 = 1 << 1
+)
+
+// Welcome acknowledges a session: the scheme, the public file table, the
+// cost-model parameters the client should simulate with, and the daemon's
+// capability flags.
 type Welcome struct {
 	Scheme   string
 	Database string
+	Flags    uint16
 	Files    []lbs.FileInfo
 	Model    costmodel.Params
 }
@@ -272,6 +292,7 @@ func (m Welcome) Encode() []byte {
 	e := pagefile.NewEnc(128)
 	putString(e, m.Scheme)
 	putString(e, m.Database)
+	e.U16(m.Flags)
 	e.U16(uint16(len(m.Files)))
 	for _, f := range m.Files {
 		putString(e, f.Name)
@@ -285,7 +306,7 @@ func (m Welcome) Encode() []byte {
 // DecodeWelcome reverses Welcome.Encode.
 func DecodeWelcome(b []byte) (Welcome, error) {
 	d := pagefile.NewDec(b)
-	m := Welcome{Scheme: getString(d), Database: getString(d)}
+	m := Welcome{Scheme: getString(d), Database: getString(d), Flags: d.U16()}
 	n := int(d.U16())
 	for i := 0; i < n && d.Err() == nil; i++ {
 		m.Files = append(m.Files, lbs.FileInfo{
@@ -414,6 +435,65 @@ func (m *Fetch) DecodeInto(b []byte) error {
 		m.Pages = append(m.Pages, d.U32())
 	}
 	return decErr("Fetch", d)
+}
+
+// ShareFetch is the two-server PIR retrieval: up to 65535 XOR selector
+// bitvectors over one file, each answered by the XOR of the pages whose
+// bits are set. Every selector a replica sees is (marginally) uniform — it
+// is one share of a two-server split held by the client — so unlike Fetch
+// there are no page indices to hide: the payload itself is the PIR request,
+// and the trace recorder still sees only the file name and the count.
+type ShareFetch struct {
+	File string
+	Sels [][]byte
+}
+
+// Encode serializes the message payload.
+func (m ShareFetch) Encode() []byte {
+	size := 4 + len(m.File)
+	for _, s := range m.Sels {
+		size += 4 + len(s)
+	}
+	return m.EncodeTo(pagefile.NewEnc(size))
+}
+
+// EncodeTo serializes the message payload into e, which the caller has
+// Reset. The returned bytes alias e's buffer.
+func (m ShareFetch) EncodeTo(e *pagefile.Enc) []byte {
+	putString(e, m.File)
+	e.U16(uint16(len(m.Sels)))
+	for _, s := range m.Sels {
+		putBytes(e, s)
+	}
+	return e.Bytes()
+}
+
+// DecodeShareFetch reverses ShareFetch.Encode.
+func DecodeShareFetch(b []byte) (ShareFetch, error) {
+	var m ShareFetch
+	err := m.DecodeInto(b)
+	return m, err
+}
+
+// DecodeInto is DecodeShareFetch reusing m's storage. The selector slices
+// alias b — the serving loop hands them straight to the scan kernel while
+// the frame buffer is still pinned — so the caller must be done with them
+// before reusing the frame buffer.
+func (m *ShareFetch) DecodeInto(b []byte) error {
+	d := pagefile.NewDec(b)
+	raw := d.Raw(int(d.U16()))
+	if string(raw) != m.File {
+		m.File = string(raw)
+	}
+	n := int(d.U16())
+	m.Sels = m.Sels[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		sel := d.Raw(int(d.U32()))
+		if d.Err() == nil {
+			m.Sels = append(m.Sels, sel)
+		}
+	}
+	return decErr("FetchShare", d)
 }
 
 // Pages answers a Fetch with the page contents, in request order.

@@ -93,6 +93,7 @@ func TestWelcomeRoundTrip(t *testing.T) {
 	m := Welcome{
 		Scheme:   "HY",
 		Database: "main",
+		Flags:    WelcomeShareCapable | WelcomeReplicaRole,
 		Files: []lbs.FileInfo{
 			{Name: "Fl", NumPages: 12, PageSize: 4096},
 			{Name: "Fc", NumPages: 9999, PageSize: 512},
@@ -105,6 +106,9 @@ func TestWelcomeRoundTrip(t *testing.T) {
 	}
 	if got.Scheme != m.Scheme || got.Database != m.Database {
 		t.Errorf("identity: got %q/%q", got.Scheme, got.Database)
+	}
+	if got.Flags != m.Flags {
+		t.Errorf("flags: got %#x, want %#x", got.Flags, m.Flags)
 	}
 	if len(got.Files) != 2 || got.Files[0] != m.Files[0] || got.Files[1] != m.Files[1] {
 		t.Errorf("files: got %+v", got.Files)
@@ -127,6 +131,36 @@ func TestFetchRoundTrip(t *testing.T) {
 		if got.Pages[i] != m.Pages[i] {
 			t.Errorf("page %d: got %d", i, got.Pages[i])
 		}
+	}
+}
+
+func TestShareFetchRoundTrip(t *testing.T) {
+	m := ShareFetch{File: "Fd", Sels: [][]byte{
+		bytes.Repeat([]byte{0x5A}, 33), {}, {0xFF},
+	}}
+	got, err := DecodeShareFetch(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.File != m.File || len(got.Sels) != len(m.Sels) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range m.Sels {
+		if !bytes.Equal(got.Sels[i], m.Sels[i]) {
+			t.Errorf("selector %d mismatch", i)
+		}
+	}
+	// DecodeInto reuses storage across decodes.
+	m2 := ShareFetch{File: "Fd", Sels: [][]byte{{1}}}
+	if err := got.DecodeInto(m2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if got.File != "Fd" || len(got.Sels) != 1 || !bytes.Equal(got.Sels[0], []byte{1}) {
+		t.Errorf("DecodeInto reuse: got %+v", got)
+	}
+	// A selector length promising bytes that never arrive must be rejected.
+	if _, err := DecodeShareFetch([]byte{0, 1, 'F', 0, 1, 0, 0, 0, 9, 1}); err == nil {
+		t.Error("ShareFetch with short selector accepted")
 	}
 }
 

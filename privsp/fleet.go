@@ -1,0 +1,203 @@
+package privsp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// ErrReplicaDown is matched by errors.Is for every fleet replica failure:
+// a dead replica at dial time, a transport failure mid-query (which trips
+// that replica's circuit breaker), or a query attempted with no replica
+// reachable. The concrete error is always a *ReplicaDownError.
+var ErrReplicaDown = fleet.ErrReplicaDown
+
+// ReplicaDownError names the replica behind an ErrReplicaDown failure.
+type ReplicaDownError = fleet.ReplicaDownError
+
+// FleetConfig tunes DialFleetConfig.
+type FleetConfig struct {
+	// Database selects a hosted database by name on every replica; empty
+	// selects each daemon's sole database.
+	Database string
+	// Mirror forces plain read-replica mode: each whole query goes to one
+	// replica, rotating per query (for single-server schemes). By default
+	// the mode resolves automatically — share fan-out when every replica
+	// is share-capable, mirror otherwise.
+	Mirror bool
+	// DisableDegraded refuses the single-survivor demotion: with one
+	// share replica left, queries fail with ErrReplicaDown instead of
+	// falling back to trust-one-server XOR PIR.
+	DisableDegraded bool
+	// ProbeInterval is the health prober's period; 0 means the default
+	// (2 s).
+	ProbeInterval time.Duration
+	// Logf receives failover events (replica down/up, degraded-mode
+	// warnings); nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// FleetServer fans private queries out across a fleet of privspd
+// replicas. In share mode each XOR PIR read is split into two selector
+// shares sent to DIFFERENT replicas, and the page is reconstructed only
+// client-side — the paper's two-server PIR model made real: each replica
+// performs one scan, sees one uniformly random bitvector, and (run with
+// -replica-role) physically cannot reconstruct what was read. Privacy is
+// information-theoretic as long as the replicas do not collude.
+//
+// Failover is automatic: a dead replica trips its circuit breaker, a
+// health prober re-dials it, and in the meantime queries demote to
+// degraded single-server XOR PIR on the survivor — correct answers, but
+// privacy downgraded to trusting that one server, so the demotion is
+// logged and counted. It satisfies the same PathService surface as the
+// in-process Server and the single-daemon RemoteServer.
+type FleetServer struct {
+	f      *fleet.Fleet
+	scheme Scheme
+}
+
+var _ PathService = (*FleetServer)(nil)
+
+// DialFleet connects to every replica with the default configuration. All
+// replicas must answer and must serve the same database; a dead or
+// diverged replica fails the dial with an error naming it.
+func DialFleet(addrs ...string) (*FleetServer, error) {
+	return DialFleetConfig(context.Background(), addrs, FleetConfig{})
+}
+
+// DialFleetConfig connects to every replica of a fleet. ctx bounds the
+// connects and handshakes.
+func DialFleetConfig(ctx context.Context, addrs []string, cfg FleetConfig) (*FleetServer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mode := fleet.ModeAuto
+	if cfg.Mirror {
+		mode = fleet.ModeMirror
+	}
+	f, err := fleet.Dial(ctx, addrs, fleet.Options{
+		Database:        cfg.Database,
+		Mode:            mode,
+		ProbeInterval:   cfg.ProbeInterval,
+		DisableDegraded: cfg.DisableDegraded,
+		Logf:            cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scheme := Scheme(f.Scheme())
+	switch scheme {
+	case CI, PI, PIStar, HY, LM, AF:
+	default:
+		f.Close()
+		return nil, fmt.Errorf("privsp: fleet hosts unsupported scheme %q", scheme)
+	}
+	return &FleetServer{f: f, scheme: scheme}, nil
+}
+
+// Scheme returns the scheme of the replicated database.
+func (fs *FleetServer) Scheme() Scheme { return fs.scheme }
+
+// Mode reports the resolved fan-out mode: "shares" or "mirror".
+func (fs *FleetServer) Mode() string { return fs.f.Mode().String() }
+
+// ShortestPath runs one private query fanned out across the fleet. The
+// scheme protocol is the same code that drives the other deployments; in
+// share mode every replica records the identical canonical trace it would
+// record alone, and WithServerTrace captures it (the fleet verifies both
+// replicas' traces match before returning one).
+func (fs *FleetServer) ShortestPath(ctx context.Context, src, dst Point, opts ...QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := applyOptions(opts)
+	qs := fs.f.StartQuery()
+	if err := qs.Err(); err != nil {
+		return nil, err
+	}
+	res, err := queryScheme(ctx, fs.scheme, qs, src, dst)
+	if err != nil {
+		qs.Cancel(cancelReason(ctx, err))
+		return nil, err
+	}
+	trace, terr := qs.End(ctx)
+	if terr != nil {
+		qs.Cancel(cancelReason(ctx, terr))
+		return nil, terr
+	}
+	o.deliver(res, trace)
+	return res, nil
+}
+
+// FleetReplicaStatus is one replica's health snapshot.
+type FleetReplicaStatus struct {
+	Addr string
+	Up   bool // circuit breaker closed
+	// Trips counts breaker openings since dial; LastErr is the most
+	// recent failure (nil when healthy since dial).
+	Trips   uint64
+	LastErr error
+}
+
+// FleetStatus is the fleet's health and per-mode query accounting.
+type FleetStatus struct {
+	// Mode is the resolved fan-out mode: "shares" or "mirror".
+	Mode     string
+	Replicas []FleetReplicaStatus
+	// PairedQueries ran with shares on two distinct replicas;
+	// DegradedQueries sent both shares to a lone survivor (privacy
+	// demoted to trusting that server); MirrorQueries ran whole on one
+	// replica.
+	PairedQueries   uint64
+	DegradedQueries uint64
+	MirrorQueries   uint64
+}
+
+// Status snapshots the fleet's health without touching the network.
+func (fs *FleetServer) Status() FleetStatus {
+	st := fs.f.Status()
+	out := FleetStatus{
+		Mode:            st.Mode.String(),
+		PairedQueries:   st.PairedQueries,
+		DegradedQueries: st.DegradedQueries,
+		MirrorQueries:   st.MirrorQueries,
+	}
+	for _, r := range st.Replicas {
+		out.Replicas = append(out.Replicas, FleetReplicaStatus{
+			Addr: r.Addr, Up: r.Up, Trips: r.Trips, LastErr: r.LastErr,
+		})
+	}
+	return out
+}
+
+// FleetReplicaStats is one replica's health plus its daemon-side serving
+// counters (zero-valued with StatsErr set when the replica is down).
+type FleetReplicaStats struct {
+	FleetReplicaStatus
+	Stats    ServiceStats
+	StatsErr error
+}
+
+// ReplicaStats fetches every replica's daemon statistics, for per-replica
+// monitoring (`privsp stats -fleet` prints one block per replica).
+func (fs *FleetServer) ReplicaStats(ctx context.Context) []FleetReplicaStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var out []FleetReplicaStats
+	for _, rs := range fs.f.ReplicaServerStats(ctx) {
+		out = append(out, FleetReplicaStats{
+			FleetReplicaStatus: FleetReplicaStatus{
+				Addr: rs.Addr, Up: rs.Up, Trips: rs.Trips, LastErr: rs.LastErr,
+			},
+			Stats:    serviceStats(rs.Stats),
+			StatsErr: rs.StatsErr,
+		})
+	}
+	return out
+}
+
+// Close stops the health prober and tears down every replica connection.
+func (fs *FleetServer) Close() error { return fs.f.Close() }

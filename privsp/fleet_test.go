@@ -1,0 +1,134 @@
+package privsp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/pagefile"
+	"repro/internal/pir"
+	"repro/internal/server"
+)
+
+// startReplicaDaemon hosts the built database in -replica-role (two-server
+// XOR PIR stores, share fetches only) on loopback.
+func startReplicaDaemon(t *testing.T, name string, db *Database) string {
+	t.Helper()
+	srv := server.New(server.Options{
+		ReplicaRole: true,
+		Stores:      func(r pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(r) },
+	})
+	if err := srv.Host(name, db.LBS(), costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestFleetEndToEnd drives the public DialFleet API against two real
+// replica daemons: answers match the in-process deployment, the
+// replica-recorded trace is identical across distinct queries and equal to
+// the single-deployment trace, and the per-replica stats both account one
+// scan's worth of work per query.
+func TestFleetEndToEnd(t *testing.T) {
+	net0 := Generate(Oldenburg, 0.08, 1)
+	db, err := Build(net0, Config{Scheme: CI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA := startReplicaDaemon(t, "CI", db)
+	addrB := startReplicaDaemon(t, "CI", db)
+
+	local, err := Serve(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := DialFleet(addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Scheme() != CI || fs.Mode() != "shares" {
+		t.Fatalf("fleet resolved %s/%s, want CI/shares", fs.Scheme(), fs.Mode())
+	}
+
+	queries := [][2]graph.NodeID{{0, 9}, {3, 40}, {7, 7}}
+	var firstTrace string
+	for qi, q := range queries {
+		var localTrace, fleetTrace string
+		want, err := local.ShortestPath(context.Background(),
+			net0.NodePoint(q[0]), net0.NodePoint(q[1]), WithServerTrace(&localTrace))
+		if err != nil {
+			t.Fatalf("query %d local: %v", qi, err)
+		}
+		got, err := fs.ShortestPath(context.Background(),
+			net0.NodePoint(q[0]), net0.NodePoint(q[1]), WithServerTrace(&fleetTrace))
+		if err != nil {
+			t.Fatalf("query %d fleet: %v", qi, err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 || len(got.Path) != len(want.Path) {
+			t.Errorf("query %d: fleet cost %v (%d nodes), local %v (%d nodes)",
+				qi, got.Cost, len(got.Path), want.Cost, len(want.Path))
+		}
+		if fleetTrace != localTrace {
+			t.Errorf("query %d: replica trace differs from the single-deployment trace", qi)
+		}
+		if firstTrace == "" {
+			firstTrace = fleetTrace
+		} else if fleetTrace != firstTrace {
+			t.Errorf("query %d: adversarial view changed across queries", qi)
+		}
+	}
+
+	st := fs.Status()
+	if st.Mode != "shares" || st.PairedQueries != uint64(len(queries)) || st.DegradedQueries != 0 {
+		t.Fatalf("status = %+v, want %d paired shares queries", st, len(queries))
+	}
+	for _, r := range st.Replicas {
+		if !r.Up || r.Trips != 0 {
+			t.Fatalf("replica %s: %+v, want healthy", r.Addr, r)
+		}
+	}
+
+	for _, rs := range fs.ReplicaStats(context.Background()) {
+		if rs.StatsErr != nil {
+			t.Fatalf("replica %s stats: %v", rs.Addr, rs.StatsErr)
+		}
+		if len(rs.Stats.Databases) != 1 || rs.Stats.Databases[0].Queries < uint64(len(queries)) {
+			t.Fatalf("replica %s served %+v, want ≥%d queries", rs.Addr, rs.Stats.Databases, len(queries))
+		}
+	}
+}
+
+// TestFleetDialErrors: the typed replica error surfaces through the public
+// package and a dead replica fails the dial naming it.
+func TestFleetDialErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	_, err = DialFleet(dead, dead+"0")
+	if !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("dial dead fleet: err = %v, want ErrReplicaDown", err)
+	}
+	var rd *ReplicaDownError
+	if !errors.As(err, &rd) || rd.Addr == "" {
+		t.Fatalf("err = %v, want *ReplicaDownError with an address", err)
+	}
+}

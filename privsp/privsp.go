@@ -22,6 +22,15 @@
 // cancelled query leaves at the service is a prefix of the one full-query
 // trace: cancellation leaks nothing (Theorem 1 is preserved).
 //
+// Deployments scale from in-process (Serve) through one remote daemon
+// (DialContext, cmd/privspd) to a replica fleet (DialFleet): two or more
+// daemons in -replica-role each receive one XOR PIR selector share per
+// page read and the page is reconstructed only client-side, making the
+// two-server PIR model real — information-theoretic privacy as long as
+// the replicas do not collude, with health-checked failover and an
+// explicit, counted demotion to single-server trust when only one
+// replica survives. All three satisfy the same PathService interface.
+//
 // Four strongly private schemes are provided — CI (small database, more PIR
 // page fetches), PI (one-page-fast queries, huge index), HY (tunable hybrid)
 // and PIStar (clustered PI, tunable) — plus the weaker baselines the paper
@@ -489,21 +498,10 @@ func (s *Server) ShortestPath(ctx context.Context, src, dst Point, opts ...Query
 		res *Result
 		err error
 	)
-	switch s.cfg.Scheme {
-	case CI:
-		res, err = ci.Query(ctx, s.lbsSrv, src, dst)
-	case PI, PIStar:
-		res, err = pi.Query(ctx, s.lbsSrv, src, dst)
-	case HY:
-		res, err = hy.Query(ctx, s.lbsSrv, src, dst)
-	case LM:
-		res, err = lm.Query(ctx, s.lbsSrv, src, dst)
-	case AF:
-		res, err = af.Query(ctx, s.lbsSrv, src, dst)
-	case OBF:
+	if s.cfg.Scheme == OBF {
 		res, err = s.obfSrv.Query(ctx, src, dst)
-	default:
-		return nil, fmt.Errorf("privsp: unknown scheme %q", s.cfg.Scheme)
+	} else {
+		res, err = queryScheme(ctx, s.cfg.Scheme, s.lbsSrv, src, dst)
 	}
 	if err != nil {
 		return nil, err
@@ -511,6 +509,25 @@ func (s *Server) ShortestPath(ctx context.Context, src, dst Point, opts ...Query
 	// In-process, the service's view is the client transcript itself.
 	o.deliver(res, res.Trace)
 	return res, nil
+}
+
+// queryScheme dispatches a scheme's query protocol over an arbitrary
+// lbs.Service — the in-process server, one daemon connection, or a replica
+// fleet; the protocol code cannot tell which deployment it runs against.
+func queryScheme(ctx context.Context, scheme Scheme, svc lbs.Service, src, dst Point) (*Result, error) {
+	switch scheme {
+	case CI:
+		return ci.Query(ctx, svc, src, dst)
+	case PI, PIStar:
+		return pi.Query(ctx, svc, src, dst)
+	case HY:
+		return hy.Query(ctx, svc, src, dst)
+	case LM:
+		return lm.Query(ctx, svc, src, dst)
+	case AF:
+		return af.Query(ctx, svc, src, dst)
+	}
+	return nil, fmt.Errorf("privsp: unknown scheme %q", scheme)
 }
 
 // CostModel returns the Table 2 parameters in force for documentation and
@@ -615,24 +632,7 @@ func (r *RemoteServer) ShortestPath(ctx context.Context, src, dst Point, opts ..
 		return nil, fmt.Errorf("privsp: connection is not bound to a database; use DialDatabase")
 	}
 	qs := r.c.StartQuery()
-	var (
-		res *Result
-		err error
-	)
-	switch r.scheme {
-	case CI:
-		res, err = ci.Query(ctx, qs, src, dst)
-	case PI, PIStar:
-		res, err = pi.Query(ctx, qs, src, dst)
-	case HY:
-		res, err = hy.Query(ctx, qs, src, dst)
-	case LM:
-		res, err = lm.Query(ctx, qs, src, dst)
-	case AF:
-		res, err = af.Query(ctx, qs, src, dst)
-	default:
-		err = fmt.Errorf("privsp: unknown scheme %q", r.scheme)
-	}
+	res, err := queryScheme(ctx, r.scheme, qs, src, dst)
 	if err != nil {
 		// Settle the query session. A context abort is a deliberate
 		// cancellation the daemon records (the partial trace is what the
@@ -701,6 +701,11 @@ func (r *RemoteServer) Stats(ctx context.Context) (ServiceStats, error) {
 	if err != nil {
 		return ServiceStats{}, err
 	}
+	return serviceStats(ws), nil
+}
+
+// serviceStats converts a daemon's wire statistics to the public view.
+func serviceStats(ws wire.ServerStats) ServiceStats {
 	st := ServiceStats{ActiveConns: int(ws.ActiveConns), TotalConns: ws.TotalConns}
 	for _, db := range ws.Databases {
 		st.Databases = append(st.Databases, DatabaseStats{
@@ -716,7 +721,7 @@ func (r *RemoteServer) Stats(ctx context.Context) (ServiceStats, error) {
 			QueuedReads:      int(db.QueuedReads),
 		})
 	}
-	return st, nil
+	return st
 }
 
 // Close tears down the connection to the daemon.
