@@ -12,10 +12,17 @@ import (
 )
 
 // newAdminMux builds the operator surface: Prometheus-text /metrics over
-// the daemon's registry, a /healthz liveness probe, and the pprof handlers
-// — registered explicitly, so nothing rides the default mux and the admin
-// listener serves exactly what is listed here.
-func newAdminMux(reg *telemetry.Registry) *http.ServeMux {
+// the daemon's registry, a /healthz liveness probe, a /readyz readiness
+// probe (503 while the daemon is shedding at its in-flight budget), and
+// the pprof handlers — registered explicitly, so nothing rides the default
+// mux and the admin listener serves exactly what is listed here.
+//
+// /healthz and /readyz answer different questions on purpose: healthz is
+// pure liveness (the process is up and serving its admin port) and stays
+// 200 under overload; readyz reflects admission headroom, so a balancer
+// can steer new load away from a shedding daemon that is otherwise
+// perfectly healthy. ready may be nil (always ready).
+func newAdminMux(reg *telemetry.Registry, ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,6 +34,15 @@ func newAdminMux(reg *telemetry.Registry) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || ready() {
+			w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("shedding\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -51,7 +67,7 @@ func startAdmin(ctx context.Context, addr, label string, mux *http.ServeMux) (fu
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	log.Printf("privspd: %s on http://%s/ (endpoints: /metrics /healthz /debug/pprof/)", label, ln.Addr())
+	log.Printf("privspd: %s on http://%s/ (endpoints: /metrics /healthz /readyz /debug/pprof/)", label, ln.Addr())
 	served := make(chan struct{})
 	go func() {
 		defer close(served)

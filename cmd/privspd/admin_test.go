@@ -63,7 +63,7 @@ func testDaemon(t *testing.T) (*privsp.Network, *server.Server, string) {
 // scrape fetches /metrics from the admin mux and returns the body.
 func scrape(t *testing.T, srv *server.Server) string {
 	t.Helper()
-	ts := httptest.NewServer(newAdminMux(srv.Telemetry()))
+	ts := httptest.NewServer(newAdminMux(srv.Telemetry(), srv.Ready))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -183,7 +183,7 @@ func TestAdminMetricsConsistency(t *testing.T) {
 // TestAdminHealthz: the liveness probe answers 200 with a plain body.
 func TestAdminHealthz(t *testing.T) {
 	_, srv, _ := testDaemon(t)
-	ts := httptest.NewServer(newAdminMux(srv.Telemetry()))
+	ts := httptest.NewServer(newAdminMux(srv.Telemetry(), srv.Ready))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -193,6 +193,56 @@ func TestAdminHealthz(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
 		t.Fatalf("/healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestAdminReadyz: the readiness probe tracks the shedding state — 200
+// with admission headroom, 503 while the in-flight budget is full — and
+// /healthz stays a pure 200 liveness answer throughout.
+func TestAdminReadyz(t *testing.T) {
+	_, srv, _ := testDaemon(t)
+	shedding := false
+	ready := func() bool { return !shedding }
+	ts := httptest.NewServer(newAdminMux(srv.Telemetry(), ready))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz ready: %d %q", code, body)
+	}
+	shedding = true
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "shedding\n" {
+		t.Fatalf("/readyz shedding: %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz while shedding: %d %q — liveness must not track load", code, body)
+	}
+	shedding = false
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz after drain: %d %q", code, body)
+	}
+
+	// The real daemon wiring: srv.Ready reflects the live server, which has
+	// headroom here.
+	ts2 := httptest.NewServer(newAdminMux(srv.Telemetry(), srv.Ready))
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz on an idle daemon: %d, want 200", resp.StatusCode)
 	}
 }
 
@@ -235,8 +285,11 @@ func TestMetricsCatalog(t *testing.T) {
 		case len(fields) == 3 && fields[2] == "fleet":
 			// Fleet-client families: enforced against a fleet registry by
 			// internal/fleet's TestFleetMetricsCatalog, not the daemon scrape.
+		case len(fields) == 3 && fields[2] == "client":
+			// Client-side families on the process-default registry: enforced
+			// by internal/client's TestClientMetricsCatalog.
 		default:
-			t.Fatalf("catalog line %q: want <family> <type> [daemon|fleet]", line)
+			t.Fatalf("catalog line %q: want <family> <type> [daemon|fleet|client]", line)
 		}
 	}
 

@@ -21,9 +21,10 @@
 //
 // -admin ADDR (off by default) serves the operator endpoints on a SEPARATE
 // listen address: Prometheus-text /metrics over the daemon's telemetry
-// registry, a /healthz liveness probe, and the net/http/pprof profile
-// handlers, so the serving hot paths — the PIR scan kernels above all — can
-// be watched and profiled in deployment:
+// registry, a /healthz liveness probe, a /readyz readiness probe that
+// turns 503 while the daemon sheds at its -max-inflight budget, and the
+// net/http/pprof profile handlers, so the serving hot paths — the PIR scan
+// kernels above all — can be watched and profiled in deployment:
 //
 //	privspd -listen :7465 -db ci.psdb -admin localhost:6060
 //	curl http://localhost:6060/metrics
@@ -42,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/faultinject"
 	"repro/internal/lbs"
 	"repro/internal/pagefile"
 	"repro/internal/pir"
@@ -79,6 +82,8 @@ func main() {
 	scanCap := flag.Int("scan-cap", 0, "max pages answered by one merged scan (0 = 256 default)")
 	scanWorkers := flag.Int("scan-workers", 0, "workers fanning out each PIR scan on parallel-capable stores, capped by -workers (0 = size-aware default, 1 = serial kernel)")
 	replicaRole := flag.Bool("replica-role", false, "serve as a non-reconstructing fleet replica: answer only XOR PIR selector shares (FetchShare), reject plain page fetches; requires -pir xorpir (clients fan out with privsp.DialFleet)")
+	maxInflight := flag.Int("max-inflight", 0, "daemon-wide bound on queries open at once; a BeginQuery past the budget is shed with a typed BUSY reply before any query content is read (0 = 32x workers with a floor of 64, negative = unlimited)")
+	chaosSpec := flag.String("chaos", "", "DEV ONLY fault-injection spec, comma-separated key=value from latency=<dur>, tear=<n>, dialfail=<n>, eio=<n>, slowpage=<dur>, seed=<n> (e.g. latency=2ms,tear=6,dialfail=5,eio=97); empty = off")
 	adminAddr := flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. localhost:6060; empty = disabled)")
 	pprofAddr := flag.String("pprof", "", "serve the admin endpoints on this additional address (historical alias of -admin)")
 	statsEvery := flag.Duration("stats", 0, "log serving stats at this interval (0 = off)")
@@ -102,6 +107,7 @@ func main() {
 		PIRStore:    *pirStore,
 		ScanWorkers: *scanWorkers,
 		ReplicaRole: *replicaRole,
+		Chaos:       *chaosSpec,
 		Explicit:    explicit,
 	}
 	warnings, err := cfg.validate()
@@ -112,14 +118,29 @@ func main() {
 		log.Printf("privspd: warning: %s", w)
 	}
 
+	// Chaos mode (dev only): one injector shared by the listener wrapper and
+	// every hosted file's reader, so fault rates are daemon-global.
+	var chaos *faultinject.Injector
+	if *chaosSpec != "" {
+		ccfg, _ := faultinject.ParseSpec(*chaosSpec) // validated above
+		if ccfg.Enabled() {
+			chaos = faultinject.New(ccfg)
+		}
+	}
+
+	stores := storeFactory(*pirStore)
+	if chaos != nil {
+		stores = chaosStores(chaos, stores)
+	}
 	srv := server.New(server.Options{
 		Workers:      *workers,
 		Logf:         log.Printf,
-		Stores:       storeFactory(*pirStore),
+		Stores:       stores,
 		ScanWindow:   *scanWindow,
 		ScanBatchCap: *scanCap,
 		ScanWorkers:  *scanWorkers,
 		ReplicaRole:  *replicaRole,
+		MaxInflight:  *maxInflight,
 	})
 	if len(cfg.DBFiles) > 0 {
 		for _, path := range cfg.DBFiles {
@@ -172,7 +193,7 @@ func main() {
 	// surface. The mux is shared, so -admin and -pprof expose identical
 	// endpoints wherever they are bound.
 	var adminWait []func()
-	adminMux := newAdminMux(srv.Telemetry())
+	adminMux := newAdminMux(srv.Telemetry(), srv.Ready)
 	for _, a := range []struct{ addr, label string }{
 		{*adminAddr, "admin"}, {*pprofAddr, "pprof"},
 	} {
@@ -200,8 +221,17 @@ func main() {
 		}()
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so chaos mode can wrap
+	// the listener with its connection-level faults.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("privspd: listen %s: %v", *listen, err)
+	}
+	if chaos != nil {
+		ln = chaos.Listener(ln)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe(*listen) }()
+	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -239,6 +269,7 @@ type daemonConfig struct {
 	PIRStore    string
 	ScanWorkers int
 	ReplicaRole bool
+	Chaos       string
 	// Explicit lists the flag names the user actually set (flag.Visit).
 	Explicit []string
 }
@@ -275,6 +306,16 @@ func (c daemonConfig) validate() (warnings []string, err error) {
 	if c.ScanWorkers > 1 && c.PIRStore != "xorpir" {
 		warnings = append(warnings,
 			"-scan-workers only affects parallel-capable stores; -pir plain serves reads without file scans")
+	}
+	if c.Chaos != "" {
+		ccfg, cerr := faultinject.ParseSpec(c.Chaos)
+		if cerr != nil {
+			return nil, fmt.Errorf("-chaos: %v", cerr)
+		}
+		if ccfg.Enabled() {
+			warnings = append(warnings, fmt.Sprintf(
+				"-chaos %s injects faults into serving I/O — development and testing only, never production", ccfg))
+		}
 	}
 	if len(c.DBFiles) > 0 {
 		var conflict []string
@@ -316,6 +357,18 @@ func storeFactory(name string) lbs.StoreFactory {
 		return func(f pagefile.Reader) (pir.Store, error) { return pir.NewXORPIR(f) }
 	}
 	return nil
+}
+
+// chaosStores wraps every hosted file's reader with the injector's page
+// faults (EIO, slow pages) before the real store factory builds on it.
+// XOR PIR copies pages into its scan arena at construction, so under -pir
+// xorpir injected EIO can only fail hosting; -pir plain serves straight
+// from the reader and surfaces injected EIO per query-time fetch.
+func chaosStores(in *faultinject.Injector, next lbs.StoreFactory) lbs.StoreFactory {
+	if next == nil {
+		next = lbs.PlainStores
+	}
+	return func(f pagefile.Reader) (pir.Store, error) { return next(in.Reader(f)) }
 }
 
 // orDefault substitutes a default for an empty flag value in messages.

@@ -103,6 +103,21 @@ func TestValidateFlagCombinations(t *testing.T) {
 			cfg:  daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, PIRStore: "xorpir"},
 		},
 		{
+			name: "chaos spec accepted",
+			cfg: daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"},
+				Chaos: "latency=2ms,tear=6,dialfail=5,eio=97,seed=42"},
+		},
+		{
+			name:    "chaos spec rejected",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, Chaos: "latency=banana"},
+			wantErr: "-chaos",
+		},
+		{
+			name:    "chaos unknown fault rejected",
+			cfg:     daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"}, Chaos: "frob=1"},
+			wantErr: "unknown fault",
+		},
+		{
 			name: "xorpir store with db path",
 			cfg: daemonConfig{DBFiles: []string{"ci.psdb"}, PIRStore: "xorpir",
 				Explicit: []string{"db", "pir", "scan-window", "scan-cap"}},
@@ -199,6 +214,25 @@ func TestValidateScanWorkerWarnings(t *testing.T) {
 		PIRStore: "xorpir", ScanWorkers: 1}.validate()
 	if err != nil || len(warns) != 0 {
 		t.Fatalf("sane config: warnings %q, err %v; want none", warns, err)
+	}
+}
+
+// TestValidateChaosWarning: an enabled chaos spec is legal but loudly
+// flagged as development-only.
+func TestValidateChaosWarning(t *testing.T) {
+	warns, err := daemonConfig{Preset: "Oldenburg", Schemes: []string{"CI"},
+		Chaos: "dialfail=5"}.validate()
+	if err != nil {
+		t.Fatalf("validate() = %v, want nil", err)
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "development") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chaos warnings = %q, want a development-only warning", warns)
 	}
 }
 

@@ -345,6 +345,26 @@ func IsServerShutdown(err error) bool {
 	return errors.As(err, &se) && strings.Contains(se.text, "server shutting down")
 }
 
+// ErrBusy marks a query the daemon shed at admission under overload.
+// Callers match it with errors.Is; the full *BusyError carries the
+// server's retry-after hint. The connection stays healthy — the right
+// response is to retry the WHOLE query after backing off, redrawing all
+// PIR randomness, never to resend any recorded round.
+var ErrBusy = errors.New("client: server busy, query shed at admission")
+
+// BusyError is the typed form of a shed query: errors.Is(err, ErrBusy)
+// matches it, and RetryAfter is the server's load-derived backoff hint.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("client: server busy, query shed at admission (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBusy) match any *BusyError.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
 // ServerStats fetches the daemon's serving counters, including the
 // per-database in-flight/cancelled/deadline accounting and worker-pool
 // gauges. Safe to call while queries are in flight — statistics ride the
@@ -456,6 +476,21 @@ func (q *Query) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, w
 	select {
 	case f := <-q.resp:
 		mRoundtrip.Observe(int64(time.Since(start)))
+		if f.t == wire.MsgBusy {
+			// The daemon shed this query at admission: it was never opened
+			// server-side, so the session simply ends here. The connection
+			// stays usable; the caller retries the whole query after the
+			// hinted delay, with fresh randomness.
+			busy, derr := wire.DecodeBusy(f.payload)
+			if derr != nil {
+				q.c.fail(derr)
+				return nil, derr
+			}
+			q.done = true
+			q.c.release(q.id)
+			mInflight.Dec()
+			return nil, &BusyError{RetryAfter: time.Duration(busy.RetryAfterMillis) * time.Millisecond}
+		}
 		if f.t == wire.MsgError {
 			if em, derr := wire.DecodeErrorMsg(f.payload); derr == nil {
 				return nil, &serverError{text: em.Text}

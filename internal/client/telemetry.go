@@ -16,4 +16,20 @@ var (
 		"request-to-reply wall time per wire round trip", telemetry.Seconds())
 	mInflight = telemetry.Default().Gauge("privsp_client_queries_inflight",
 		"query sessions open right now")
+	// Retry accounting, by stage: dial retries re-attempt the connect and
+	// handshake; query retries re-run a whole query the daemon shed with
+	// Busy — with fresh PIR randomness, never a resent round. Eagerly
+	// registered so the series exist (at zero) before the first retry.
+	mRetriesDial = telemetry.Default().Counter("privsp_retries_total",
+		"retry attempts, by stage", telemetry.L("stage", "dial"))
+	mRetriesQuery = telemetry.Default().Counter("privsp_retries_total",
+		"retry attempts, by stage", telemetry.L("stage", "query"))
 )
+
+// CountDialRetry counts one connect/handshake retry attempt. The retry
+// loops live above this package (privsp wires retrier to Dial); the
+// counter lives here with the other client-side series.
+func CountDialRetry() { mRetriesDial.Inc() }
+
+// CountQueryRetry counts one whole-query retry after a Busy shed.
+func CountQueryRetry() { mRetriesQuery.Inc() }

@@ -1,0 +1,77 @@
+package client
+
+import (
+	"bufio"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestClientMetricsCatalog: the client-side families on the process-default
+// registry and the client-scoped lines of docs/metrics.catalog must agree
+// bidirectionally — the mirror of cmd/privspd's TestMetricsCatalog (daemon
+// scope) and internal/fleet's TestFleetMetricsCatalog (fleet scope). The
+// package-level handles register at init, so the families exist (at zero)
+// before any connection is dialed or any retry happens.
+func TestClientMetricsCatalog(t *testing.T) {
+	var sb strings.Builder
+	if err := telemetry.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exported := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			exported[fields[2]] = fields[3]
+		}
+	}
+	if len(exported) == 0 {
+		t.Fatal("default registry exports no families — eager registration broke")
+	}
+
+	raw, err := os.ReadFile("../../docs/metrics.catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := map[string]string{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[2] == "client" {
+			catalog[fields[0]] = fields[1]
+		}
+	}
+	if len(catalog) == 0 {
+		t.Fatal("docs/metrics.catalog lists no client-scoped families")
+	}
+
+	var names []string
+	for name := range exported {
+		names = append(names, name)
+	}
+	for name := range catalog {
+		if _, ok := exported[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, exp := exported[name]
+		want, cat := catalog[name]
+		switch {
+		case !cat:
+			t.Errorf("client exports %s (%s) but docs/metrics.catalog does not list it as client-scoped", name, got)
+		case !exp:
+			t.Errorf("docs/metrics.catalog lists client family %s but the client does not export it", name)
+		case got != want:
+			t.Errorf("%s: exported type %s, catalog says %s", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package faultinject wraps the daemon's I/O seams with deterministic,
+// rate-controlled faults: listener-level dial failures, per-connection
+// latency, connections torn mid-frame, page reads failing with an injected
+// EIO, and slow pages. It exists for the chaos harness (`privspd -chaos`,
+// bench/chaos_smoke.sh) — development only, never production serving.
+//
+// Every fault is content-blind by construction: injection decisions count
+// accepts, bytes, and page reads, never query payloads, so a chaos run
+// preserves the Theorem 1 adversarial model — the faults an adversary
+// could inflict anyway, timed independently of src/dst.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pagefile"
+)
+
+// ErrInjected marks every fault this package produces, so tests and the
+// chaos harness can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config sets per-fault rates. A zero rate disables that fault; the zero
+// Config injects nothing.
+type Config struct {
+	// Seed makes a chaos run reproducible; 0 picks a fixed default.
+	Seed int64
+	// ConnLatency delays every connection read by a uniform draw in
+	// [0, ConnLatency).
+	ConnLatency time.Duration
+	// TearEvery tears every Nth accepted connection: after a pseudo-random
+	// number of written bytes the connection closes abruptly, leaving the
+	// peer a torn frame.
+	TearEvery int
+	// DialFailEvery closes every Nth accepted connection immediately,
+	// before the handshake — the client sees a failed dial.
+	DialFailEvery int
+	// EIOEvery fails every Nth page read with an error wrapping
+	// ErrInjected. The error text never names the page index.
+	EIOEvery int
+	// SlowPage delays every page read by a uniform draw in [0, SlowPage).
+	SlowPage time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.ConnLatency > 0 || c.TearEvery > 0 || c.DialFailEvery > 0 ||
+		c.EIOEvery > 0 || c.SlowPage > 0
+}
+
+// String renders the config in ParseSpec's syntax (diagnostics, logs).
+func (c Config) String() string {
+	var parts []string
+	if c.ConnLatency > 0 {
+		parts = append(parts, "latency="+c.ConnLatency.String())
+	}
+	if c.TearEvery > 0 {
+		parts = append(parts, fmt.Sprintf("tear=%d", c.TearEvery))
+	}
+	if c.DialFailEvery > 0 {
+		parts = append(parts, fmt.Sprintf("dialfail=%d", c.DialFailEvery))
+	}
+	if c.EIOEvery > 0 {
+		parts = append(parts, fmt.Sprintf("eio=%d", c.EIOEvery))
+	}
+	if c.SlowPage > 0 {
+		parts = append(parts, "slowpage="+c.SlowPage.String())
+	}
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated key=value pairs
+// from latency=<dur>, tear=<n>, dialfail=<n>, eio=<n>, slowpage=<dur>,
+// seed=<n>. Example: "latency=2ms,tear=6,dialfail=5,eio=97,seed=42".
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: %q is not key=value", field)
+		}
+		switch key {
+		case "latency", "slowpage":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Config{}, fmt.Errorf("faultinject: bad duration %s=%q", key, val)
+			}
+			if key == "latency" {
+				c.ConnLatency = d
+			} else {
+				c.SlowPage = d
+			}
+		case "tear", "dialfail", "eio", "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || (key != "seed" && n < 0) {
+				return Config{}, fmt.Errorf("faultinject: bad count %s=%q", key, val)
+			}
+			switch key {
+			case "tear":
+				c.TearEvery = int(n)
+			case "dialfail":
+				c.DialFailEvery = int(n)
+			case "eio":
+				c.EIOEvery = int(n)
+			case "seed":
+				c.Seed = n
+			}
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown fault %q", key)
+		}
+	}
+	return c, nil
+}
+
+// Injector owns the shared fault state (counters, RNG) a chaos run's
+// wrappers draw from. One Injector serves a whole daemon, so every-Nth
+// rates are global across connections and files.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	accepts atomic.Uint64
+	reads   atomic.Uint64
+}
+
+// New builds an Injector for the config.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// jitter draws uniformly in [0, d); safe for concurrent use.
+func (in *Injector) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Int63n(int64(d)))
+}
+
+// tearBudget draws a torn connection's byte allowance: enough to survive
+// the handshake sometimes, small enough to tear mid-query often.
+func (in *Injector) tearBudget() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return 64 + in.rng.Int63n(4096)
+}
+
+// Listener wraps ln with the injector's connection-level faults.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		n := l.in.accepts.Add(1)
+		if every(n, l.in.cfg.DialFailEvery) {
+			// A failed dial from the client's point of view: the connection
+			// closes before any handshake byte.
+			c.Close()
+			continue
+		}
+		fc := &conn{Conn: c, in: l.in}
+		if every(n, l.in.cfg.TearEvery) {
+			fc.tearAfter = l.in.tearBudget()
+		}
+		return fc, nil
+	}
+}
+
+// every reports whether the nth event (1-based) hits a 1-in-rate fault.
+func every(n uint64, rate int) bool {
+	return rate > 0 && n%uint64(rate) == 0
+}
+
+// conn injects read latency and, when tearAfter is set, abruptly closes
+// the connection once that many bytes have been written to the peer.
+type conn struct {
+	net.Conn
+	in        *Injector
+	tearAfter int64 // 0 = never tear
+	written   int64
+	torn      atomic.Bool
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if c.torn.Load() {
+		return 0, fmt.Errorf("read torn connection: %w", ErrInjected)
+	}
+	if d := c.in.jitter(c.in.cfg.ConnLatency); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	if c.torn.Load() {
+		return 0, fmt.Errorf("write torn connection: %w", ErrInjected)
+	}
+	if c.tearAfter > 0 && c.written+int64(len(b)) > c.tearAfter {
+		// Write the partial prefix so the peer sees a torn frame, then kill
+		// the connection.
+		keep := c.tearAfter - c.written
+		if keep > 0 {
+			c.Conn.Write(b[:keep])
+		}
+		c.torn.Store(true)
+		c.Conn.Close()
+		return int(max(keep, 0)), fmt.Errorf("connection torn after %d bytes: %w", c.tearAfter, ErrInjected)
+	}
+	n, err := c.Conn.Write(b)
+	c.written += int64(n)
+	return n, err
+}
+
+// Reader wraps r with the injector's page-read faults: every EIOEvery'th
+// Page call fails with an error wrapping ErrInjected (content-free text —
+// no page index, because the requested index is exactly what PIR hides),
+// and SlowPage adds read latency.
+func (in *Injector) Reader(r pagefile.Reader) pagefile.Reader {
+	if in.cfg.EIOEvery <= 0 && in.cfg.SlowPage <= 0 {
+		return r
+	}
+	return &reader{Reader: r, in: in}
+}
+
+type reader struct {
+	pagefile.Reader
+	in *Injector
+}
+
+func (r *reader) Page(i int) ([]byte, error) {
+	if d := r.in.jitter(r.in.cfg.SlowPage); d > 0 {
+		time.Sleep(d)
+	}
+	if every(r.in.reads.Add(1), r.in.cfg.EIOEvery) {
+		return nil, fmt.Errorf("read page of %s: input/output error: %w", r.Name(), ErrInjected)
+	}
+	return r.Reader.Page(i)
+}

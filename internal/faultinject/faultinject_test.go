@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/pagefile"
+)
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("latency=2ms,tear=6,dialfail=5,eio=97,slowpage=1ms,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, ConnLatency: 2 * time.Millisecond, TearEvery: 6,
+		DialFailEvery: 5, EIOEvery: 97, SlowPage: time.Millisecond,
+	}
+	if c != want {
+		t.Fatalf("got %+v, want %+v", c, want)
+	}
+	if !c.Enabled() {
+		t.Fatal("parsed config reports disabled")
+	}
+	// String renders back into parseable syntax.
+	c2, err := ParseSpec(c.String())
+	if err != nil || c2 != c {
+		t.Fatalf("String round trip: %+v, %v", c2, err)
+	}
+
+	for _, bad := range []string{"latency", "latency=zap", "tear=-1", "eio=x", "frob=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Errorf("empty spec: %+v, %v — want disabled, nil", c, err)
+	}
+}
+
+// TestReaderEIO: every Nth page read fails with a typed injected error
+// whose text never names the requested index.
+func TestReaderEIO(t *testing.T) {
+	pages := [][]byte{{1}, {2}, {3}, {4}}
+	base := pagefile.SlicePages("F", 1, pages)
+	r := New(Config{EIOEvery: 3}).Reader(base)
+
+	fails := 0
+	for i := 0; i < 12; i++ {
+		_, err := r.Page(i % 4)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: untyped error %v", i, err)
+			}
+			fails++
+		}
+	}
+	if fails != 4 {
+		t.Fatalf("12 reads at eio=3 produced %d failures, want 4", fails)
+	}
+	// The wrapper is transparent for metadata.
+	if r.Name() != "F" || r.PageSize() != 1 || r.NumPages() != 4 {
+		t.Fatal("wrapper changed reader metadata")
+	}
+	// Disabled page faults return the reader unchanged.
+	if got := New(Config{TearEvery: 5}).Reader(base); got != base {
+		t.Fatal("conn-only config wrapped the reader")
+	}
+}
+
+// TestListenerDialFail: every Nth accepted connection is closed before a
+// byte moves; other connections work.
+func TestListenerDialFail(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := New(Config{DialFailEvery: 2}).Listener(ln)
+	defer fln.Close()
+
+	// Echo server over the faulty listener.
+	go func() {
+		for {
+			c, err := fln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	ok := 0
+	for i := 0; i < 6; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			continue
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Write([]byte("hi")); err == nil {
+			buf := make([]byte, 2)
+			if _, err := io.ReadFull(c, buf); err == nil {
+				ok++
+			}
+		}
+		c.Close()
+	}
+	// dialfail=2 kills every second accept: exactly 3 of 6 survive.
+	if ok != 3 {
+		t.Fatalf("%d of 6 connections survived dialfail=2, want 3", ok)
+	}
+}
+
+// TestConnTear: a torn connection delivers a byte prefix then dies with a
+// typed error; the peer sees the truncation as EOF.
+func TestConnTear(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := New(Config{TearEvery: 1, Seed: 7}).Listener(ln)
+	defer fln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := fln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		// Push far more than any tear budget (64..4160 bytes).
+		buf := make([]byte, 64<<10)
+		var werr error
+		for i := 0; i < 4 && werr == nil; i++ {
+			_, werr = c.Write(buf)
+		}
+		done <- werr
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	n, _ := io.Copy(io.Discard, c)
+	werr := <-done
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("server write error = %v, want ErrInjected", werr)
+	}
+	if n < 64 || n > 64+4096 {
+		t.Fatalf("peer received %d bytes, want within the tear budget range", n)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/costmodel"
 	"repro/internal/lbs"
+	"repro/internal/retrier"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -103,6 +104,12 @@ type replica struct {
 	up      bool
 	lastErr error
 	trips   uint64 // breaker openings since dial
+
+	// Prober schedule, guarded by Fleet.mu: when this replica is probed
+	// next and how many consecutive probes have failed (drives the
+	// per-replica exponential backoff).
+	nextProbe  time.Time
+	failStreak int
 
 	mUp     *telemetry.Gauge
 	mErrors *telemetry.Counter
@@ -339,36 +346,86 @@ func (f *Fleet) reportError(rep *replica, err error) error {
 		return nil
 	}
 	if !client.IsServerShutdown(err) &&
-		(client.IsServerReject(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		(client.IsServerReject(err) || errors.Is(err, client.ErrBusy) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// A shed query (ErrBusy) is the daemon protecting itself, not
+		// dying: the breaker stays closed and the caller's retry layer
+		// backs off instead of failing over.
 		return err
 	}
 	f.markDown(rep, err)
 	return &ReplicaDownError{Addr: rep.addr, Err: err}
 }
 
-// probeLoop is the health prober: every ProbeInterval it pings up replicas
-// (daemon stats on the control ID — no query session, no trace) and
-// re-dials down ones, closing the breaker on a successful handshake.
+// probeDelay schedules a replica's next health probe. A healthy replica
+// (streak 0) is revisited roughly every interval, jittered ±¼ so a fleet's
+// probers drift apart instead of pinging in lockstep. A failing replica
+// backs off exponentially with full jitter — uniform below an interval<<
+// (streak-1) ceiling capped at 8×interval — over a fixed interval/4 floor,
+// so N clients watching one dead replica never converge into a
+// synchronized re-dial stampede, and a flapping replica is not hammered.
+func probeDelay(interval time.Duration, streak int) time.Duration {
+	if streak <= 0 {
+		return interval*3/4 + retrier.Policy{Base: interval / 2, Max: interval / 2}.Backoff(0)
+	}
+	p := retrier.Policy{Base: interval, Max: 8 * interval}
+	return interval/4 + p.Backoff(streak-1)
+}
+
+// probeLoop is the health prober: each replica is pinged (daemon stats on
+// the control ID — no query session, no trace) or, while down, re-dialed
+// on its own jittered-backoff schedule, closing the breaker on a
+// successful handshake.
 func (f *Fleet) probeLoop() {
 	defer close(f.done)
-	t := time.NewTicker(f.opts.ProbeInterval)
-	defer t.Stop()
+	interval := f.opts.ProbeInterval
+	f.mu.Lock()
+	for _, rep := range f.replicas {
+		rep.nextProbe = time.Now().Add(probeDelay(interval, 0))
+	}
+	f.mu.Unlock()
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
+		now := time.Now()
+		f.mu.Lock()
+		var due []*replica
+		next := now.Add(interval)
+		for _, rep := range f.replicas {
+			if !rep.nextProbe.After(now) {
+				due = append(due, rep)
+			} else if rep.nextProbe.Before(next) {
+				next = rep.nextProbe
+			}
+		}
+		f.mu.Unlock()
+		for _, rep := range due {
+			ok := f.probe(rep)
+			f.mu.Lock()
+			if ok {
+				rep.failStreak = 0
+			} else {
+				rep.failStreak++
+			}
+			rep.nextProbe = time.Now().Add(probeDelay(interval, rep.failStreak))
+			if rep.nextProbe.Before(next) {
+				next = rep.nextProbe
+			}
+			f.mu.Unlock()
+		}
+		timer.Reset(max(time.Until(next), time.Millisecond))
 		select {
 		case <-f.stop:
 			return
-		case <-t.C:
-		}
-		f.mu.Lock()
-		reps := append([]*replica(nil), f.replicas...)
-		f.mu.Unlock()
-		for _, rep := range reps {
-			f.probe(rep)
+		case <-timer.C:
 		}
 	}
 }
 
-func (f *Fleet) probe(rep *replica) {
+// probe checks one replica, reporting whether it answered: an up replica
+// gets a stats ping, a down one a re-dial that closes the breaker on
+// success.
+func (f *Fleet) probe(rep *replica) bool {
 	f.mu.Lock()
 	up, c := rep.up, rep.c
 	f.mu.Unlock()
@@ -378,10 +435,10 @@ func (f *Fleet) probe(rep *replica) {
 		if _, err := c.ServerStats(ctx); err != nil && !client.IsServerReject(err) {
 			f.m.probeFail.Inc()
 			f.markDown(rep, err)
-		} else {
-			f.m.probeOK.Inc()
+			return false
 		}
-		return
+		f.m.probeOK.Inc()
+		return true
 	}
 	nc, err := client.DialContext(ctx, rep.addr, client.Options{
 		Database:    f.opts.Database,
@@ -392,19 +449,20 @@ func (f *Fleet) probe(rep *replica) {
 		f.mu.Lock()
 		rep.lastErr = err
 		f.mu.Unlock()
-		return
+		return false
 	}
 	f.m.probeOK.Inc()
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		nc.Close()
-		return
+		return true
 	}
 	rep.c, rep.up, rep.lastErr = nc, true, nil
 	rep.mUp.Set(1)
 	f.mu.Unlock()
 	f.opts.Logf("fleet: replica %s recovered (breaker closed)", rep.addr)
+	return true
 }
 
 // pick returns up to n distinct up replicas, rotating the starting point

@@ -1,0 +1,80 @@
+package fleet
+
+// Internal tests for the prober's per-replica backoff schedule; the
+// externally observable failover behaviour lives in failover_test.go.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestProbeDelayHealthy: a healthy replica (streak 0) is revisited about
+// once per interval, jittered ±¼ so fleet probers drift apart.
+func TestProbeDelayHealthy(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	lo, hi := interval*3/4, interval*5/4
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := probeDelay(interval, 0)
+		if d < lo || d >= hi {
+			t.Fatalf("probeDelay(interval, 0) = %v, want in [%v, %v)", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("healthy probe delay drew %d distinct values in 200 tries — jitter missing", len(seen))
+	}
+}
+
+// TestProbeDelayBackoff: a failing replica backs off exponentially with
+// full jitter — floor interval/4, ceiling interval<<(streak-1) capped at
+// 8×interval — so it is neither hammered nor forgotten.
+func TestProbeDelayBackoff(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	floor := interval / 4
+	for _, tc := range []struct {
+		streak  int
+		ceiling time.Duration
+	}{
+		{1, interval},
+		{2, 2 * interval},
+		{3, 4 * interval},
+		{4, 8 * interval},
+		{5, 8 * interval},  // cap
+		{20, 8 * interval}, // cap survives deep streaks without overflow
+	} {
+		for i := 0; i < 100; i++ {
+			d := probeDelay(interval, tc.streak)
+			if d < floor || d >= floor+tc.ceiling {
+				t.Fatalf("probeDelay(interval, %d) = %v, want in [%v, %v)",
+					tc.streak, d, floor, floor+tc.ceiling)
+			}
+		}
+	}
+}
+
+// TestReportErrorBusyKeepsBreakerClosed: a shed query is the daemon
+// protecting itself, not dying — reportError passes ErrBusy through
+// unchanged and the replica's breaker stays closed.
+func TestReportErrorBusyKeepsBreakerClosed(t *testing.T) {
+	f := &Fleet{opts: Options{}}
+	rep := &replica{addr: "test:0", up: true}
+	busy := &client.BusyError{RetryAfter: 25 * time.Millisecond}
+	got := f.reportError(rep, busy)
+	if got != error(busy) {
+		t.Fatalf("reportError(busy) = %v, want the busy error unchanged", got)
+	}
+	if !errors.Is(got, client.ErrBusy) {
+		t.Fatalf("reportError(busy) = %v, lost the ErrBusy identity", got)
+	}
+	if !rep.up {
+		t.Fatal("shed query tripped the replica breaker")
+	}
+	var rd *ReplicaDownError
+	if errors.As(got, &rd) {
+		t.Fatalf("reportError(busy) wrapped as ReplicaDownError: %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package retrier implements bounded exponential backoff with full jitter —
+// the retry discipline every resilience path in this repo shares: client
+// dials, whole-query BUSY retries, and fleet replica probing.
+//
+// Full jitter (delay drawn uniformly from [0, min(Max, Base<<attempt)])
+// decorrelates retriers that failed at the same instant, so a daemon
+// restart or a shed burst does not produce a synchronized re-dial stampede.
+// The jitter source is deliberately math/rand: retry timing is public
+// scheduling state, not query content, so it needs no cryptographic
+// randomness — the PIR selectors a retried query redraws come from
+// crypto/rand as always.
+package retrier
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Default policy constants: four attempts spanning ~50ms..2s covers a
+// daemon restart or a shed burst without stretching interactive latency.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBase        = 50 * time.Millisecond
+	DefaultMax         = 2 * time.Second
+)
+
+// Policy bounds a retry loop. The zero value is usable: each field falls
+// back to its Default* constant.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first included.
+	MaxAttempts int
+	// Base scales the backoff: attempt k waits uniform [0, Base<<k).
+	Base time.Duration
+	// Max caps a single backoff delay.
+	Max time.Duration
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return DefaultBase
+	}
+	return p.Base
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max <= 0 {
+		return DefaultMax
+	}
+	return p.Max
+}
+
+// Ceiling returns the un-jittered backoff ceiling for the given attempt:
+// min(Max, Base<<attempt), with the shift saturating instead of wrapping.
+// Backoff draws uniformly below it; callers that want a floor (the fleet
+// prober) combine it with a fixed offset.
+func (p Policy) Ceiling(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	base, max := p.base(), p.max()
+	// base<<attempt overflows int64 well before attempt hits 63; saturate.
+	if attempt > 62 || base > max>>uint(attempt) {
+		return max
+	}
+	d := base << uint(attempt)
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Backoff returns a full-jitter delay for the given attempt (0-based):
+// uniform in [0, Ceiling(attempt)).
+func (p Policy) Backoff(attempt int) time.Duration {
+	return time.Duration(rand.Int63n(int64(p.Ceiling(attempt))))
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn up to p.MaxAttempts times, backing off with full jitter
+// between tries. retryable decides whether an error is worth another
+// attempt (nil means every error is); a non-retryable error returns
+// immediately. Do always returns the last error fn produced — never a bare
+// ctx.Err() wrapper — so callers' errors.Is checks against typed failures
+// keep working; if the context dies during a backoff sleep, the previous
+// fn error is what comes back.
+func (p Policy) Do(ctx context.Context, retryable func(error) bool, fn func(attempt int) error) error {
+	var last error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := Sleep(ctx, p.Backoff(attempt-1)); err != nil {
+				return last
+			}
+		}
+		last = fn(attempt)
+		if last == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(last) {
+			return last
+		}
+		if ctx.Err() != nil {
+			return last
+		}
+	}
+	return last
+}

@@ -1,0 +1,123 @@
+package retrier
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCeilingBounds: the ceiling doubles from Base, saturates at Max, and
+// never wraps however large the attempt number grows.
+func TestCeilingBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Ceiling(i); got != w {
+			t.Errorf("Ceiling(%d) = %v, want %v", i, got, w)
+		}
+	}
+	for _, a := range []int{-1, 62, 63, 64, 1 << 20} {
+		got := p.Ceiling(a)
+		if got <= 0 || got > p.Max {
+			t.Errorf("Ceiling(%d) = %v, out of (0, %v]", a, got, p.Max)
+		}
+	}
+}
+
+// TestBackoffJitterRange: full jitter stays strictly below the ceiling and
+// actually varies (a constant delay would re-synchronize retriers).
+func TestBackoffJitterRange(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 8 * time.Second}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(2)
+		if d < 0 || d >= 4*time.Second {
+			t.Fatalf("Backoff(2) = %v, want in [0, 4s)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("200 draws produced only %d distinct delays", len(seen))
+	}
+}
+
+// TestDoRetriesUntilSuccess: transient errors are retried, the success
+// short-circuits, and attempts are numbered from zero.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: time.Microsecond, Max: time.Microsecond}
+	var got []int
+	err := p.Do(context.Background(), nil, func(attempt int) error {
+		got = append(got, attempt)
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("attempts = %v, want [0 1 2]", got)
+	}
+}
+
+// TestDoNonRetryable: a non-retryable error returns immediately with no
+// further attempts.
+func TestDoNonRetryable(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: time.Microsecond}
+	fatal := errors.New("fatal")
+	calls := 0
+	err := p.Do(context.Background(), func(err error) bool { return !errors.Is(err, fatal) },
+		func(int) error { calls++; return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want fatal after 1", err, calls)
+	}
+}
+
+// TestDoExhaustionReturnsLastError: when every attempt fails, the caller
+// sees the final attempt's error, not a synthetic exhaustion error.
+func TestDoExhaustionReturnsLastError(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), nil, func(attempt int) error {
+		calls++
+		return errors.New("boom")
+	})
+	if err == nil || err.Error() != "boom" || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want boom after 3", err, calls)
+	}
+}
+
+// TestDoContextCancelled: a context that dies mid-backoff stops the loop
+// but the error returned is still the last fn error, so errors.Is checks
+// against typed failures (and context.Canceled, when fn wraps it) survive.
+func TestDoContextCancelled(t *testing.T) {
+	p := Policy{MaxAttempts: 10, Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	typed := errors.New("typed dial failure")
+	calls := 0
+	err := p.Do(ctx, nil, func(int) error {
+		calls++
+		cancel()
+		return typed
+	})
+	if !errors.Is(err, typed) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want the typed error after 1", err, calls)
+	}
+}
+
+// TestSleep: returns promptly on context death, nil after the delay.
+func TestSleep(t *testing.T) {
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

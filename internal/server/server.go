@@ -19,6 +19,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
@@ -59,6 +60,12 @@ type Options struct {
 	// Workers per database; 1 forces the serial kernel; 0 means each
 	// store's size-aware default (GOMAXPROCS, shrunk for small files).
 	ScanWorkers int
+	// MaxInflight bounds the queries open at once across the whole daemon.
+	// A BeginQuery past the budget is shed at admission — answered with a
+	// typed Busy frame carrying a retry-after hint, before any query
+	// content is read, so the shed decision cannot depend on src/dst.
+	// 0 means 32×Workers with a floor of 64; negative disables shedding.
+	MaxInflight int
 	// ReplicaRole runs the daemon as a non-reconstructing fleet replica:
 	// plain Fetch frames are rejected and only FetchShare is served, so the
 	// process never holds both XOR PIR shares of any query and could not
@@ -120,6 +127,10 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// inflight counts open queries daemon-wide for admission control; it
+	// moves in beginQuery/finishQuery, never on query content.
+	inflight atomic.Int64
+
 	tel *telemetry.Registry
 	m   serverMetrics
 }
@@ -134,6 +145,12 @@ func New(opts Options) *Server {
 	}
 	if opts.TraceHistory <= 0 {
 		opts.TraceHistory = 128
+	}
+	if opts.MaxInflight == 0 {
+		// Generous by default: admission control is an overload backstop,
+		// not a throttle. 32 queries per pool slot comfortably covers the
+		// multiplexed-connection fan-in a healthy daemon serves.
+		opts.MaxInflight = max(32*opts.Workers, 64)
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -157,6 +174,45 @@ func New(opts Options) *Server {
 // Telemetry returns the registry this daemon records into — the source the
 // admin endpoint scrapes and Stats views.
 func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// admitQuery claims one slot of the in-flight budget, reporting whether the
+// query may open. The decision reads a load counter only — it runs before
+// any query content exists to read (Theorem 1: shedding is content-blind).
+func (s *Server) admitQuery() bool {
+	if s.opts.MaxInflight < 0 {
+		return true
+	}
+	if s.inflight.Add(1) > int64(s.opts.MaxInflight) {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// releaseQuery returns an admitted query's slot.
+func (s *Server) releaseQuery() {
+	if s.opts.MaxInflight >= 0 {
+		s.inflight.Add(-1)
+	}
+}
+
+// Ready reports whether the daemon has in-flight headroom — the /readyz
+// answer. False means the next BeginQuery would be shed.
+func (s *Server) Ready() bool {
+	return s.opts.MaxInflight < 0 || s.inflight.Load() < int64(s.opts.MaxInflight)
+}
+
+// retryAfterHint picks the Busy frame's retry-after delay from current load
+// alone: 25ms per multiple of the budget currently outstanding, clamped to
+// [25ms, 1s]. Load-dependent, never query-dependent.
+func (s *Server) retryAfterHint() time.Duration {
+	const step = 25 * time.Millisecond
+	d := step
+	if m := int64(s.opts.MaxInflight); m > 0 {
+		d = step * time.Duration(s.inflight.Load()/m+1)
+	}
+	return min(max(d, step), time.Second)
+}
 
 // Host registers a built database under the given name (clients select it
 // in their Hello). The database is served with Options.Stores (PlainStores

@@ -268,6 +268,18 @@ func (ss *session) beginQuery(qid uint32) {
 		ss.sendErr(qid, "query %d already open", qid)
 		return
 	}
+	if !ss.s.admitQuery() {
+		ss.qmu.Unlock()
+		// Shed under overload: the query never opens, so nothing about it —
+		// src, dst, even its target database's load — was read or recorded.
+		// The Busy hint depends on the in-flight counter alone.
+		ss.s.m.shed.Inc()
+		hint := uint32(ss.s.retryAfterHint() / time.Millisecond)
+		if ss.send(wire.MsgBusy, qid, wire.Busy{RetryAfterMillis: hint}.Encode()) == nil {
+			ss.s.m.busySent.Inc()
+		}
+		return
+	}
 	qctx, qcancel := context.WithCancel(ss.ctx)
 	q := &query{id: qid, ctx: qctx, cancel: qcancel, inbox: make(chan sframe, 16), start: time.Now()}
 	ss.queries[qid] = q
@@ -436,6 +448,7 @@ func (ss *session) finishQuery(q *query) {
 	ss.qmu.Lock()
 	delete(ss.queries, q.id)
 	ss.qmu.Unlock()
+	ss.s.releaseQuery()
 	ss.db.m.inflight.Dec()
 	if q.ended {
 		return

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// startShedServer hosts CI with a tiny admission budget so a single parked
+// query saturates the daemon.
+func startShedServer(t *testing.T, maxInflight int) (*Server, string) {
+	t.Helper()
+	_, dbs := fixture(t)
+	srv := New(Options{Workers: 4, MaxInflight: maxInflight})
+	if err := srv.Host("CI", dbs["CI"], costmodel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	done, addr := listen(t, srv)
+	t.Cleanup(func() { shutdown(t, srv, done) })
+	return srv, addr
+}
+
+// TestAdmissionControlSheds: with the in-flight budget full, a new
+// BeginQuery is shed before any of its content is read — the client gets a
+// typed Busy with a positive retry hint, the daemon records nothing about
+// the query, readiness flips to false, and once the budget drains a
+// retried query succeeds.
+func TestAdmissionControlSheds(t *testing.T) {
+	srv, addr := startShedServer(t, 1)
+	c := dialDB(t, addr, "CI")
+	ctx := context.Background()
+
+	// Park one query: it holds the only admission slot until settled.
+	blocker := c.StartQuery()
+	if _, err := blocker.HeaderBytes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Ready() {
+		t.Error("Ready() = true with the admission budget full")
+	}
+
+	attempt := c.StartQuery()
+	_, err := attempt.HeaderBytes(ctx)
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("query against a full daemon: err = %v, want ErrBusy", err)
+	}
+	var be *client.BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *client.BusyError", err)
+	}
+	if be.RetryAfter <= 0 || be.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want in (0, 1s]", be.RetryAfter)
+	}
+	// Settled by the Busy: a late Cancel must be a harmless no-op.
+	attempt.Cancel(wire.CancelAbandon)
+
+	if got := srv.m.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	if got := srv.m.busySent.Value(); got != 1 {
+		t.Errorf("busy-sent counter = %d, want 1", got)
+	}
+	// Shed before content: the daemon never opened the query, so nothing
+	// about it reached the per-db accounting or the audit ring.
+	st := srv.Stats()
+	if st.Databases[0].InFlight != 1 || st.Databases[0].Queries != 0 {
+		t.Errorf("after shed: in-flight %d queries %d, want 1 and 0",
+			st.Databases[0].InFlight, st.Databases[0].Queries)
+	}
+	if traces := srv.Traces("CI"); len(traces) != 0 {
+		t.Errorf("shed query left %d traces in the audit ring", len(traces))
+	}
+
+	// Drain: settle the blocker, readiness recovers, and a fresh retry of
+	// the whole query goes through.
+	blocker.Cancel(wire.CancelAbandon)
+	waitFor(t, "readiness after drain", srv.Ready)
+	retry := c.StartQuery()
+	if _, err := retry.HeaderBytes(ctx); err != nil {
+		t.Fatalf("retried query after drain: %v", err)
+	}
+	if _, err := retry.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionBudgetDefaults: the zero value derives a budget from the
+// pool size; a negative budget disables shedding entirely.
+func TestAdmissionBudgetDefaults(t *testing.T) {
+	if srv := New(Options{Workers: 4}); srv.opts.MaxInflight != 128 {
+		t.Errorf("derived budget for 4 workers = %d, want 128 (32x workers)", srv.opts.MaxInflight)
+	}
+	if srv := New(Options{Workers: 1}); srv.opts.MaxInflight != 64 {
+		t.Errorf("derived budget for 1 worker = %d, want the floor of 64", srv.opts.MaxInflight)
+	}
+	unlimited := New(Options{Workers: 1, MaxInflight: -1})
+	for i := 0; i < 1000; i++ {
+		if !unlimited.admitQuery() {
+			t.Fatal("unlimited daemon shed a query")
+		}
+	}
+	if !unlimited.Ready() {
+		t.Error("unlimited daemon reports not ready")
+	}
+}
+
+// TestTelemetryLeakageFreeShedding extends the leakage invariant to the
+// overload path: shed attempts with the same shape but different src/dst
+// endpoints must move every exported metric identically. The shed decision
+// happens before any query content is read, so there is nothing
+// endpoint-dependent for the counters to leak — this test pins that down
+// as byte-identical registry deltas.
+func TestTelemetryLeakageFreeShedding(t *testing.T) {
+	g, _ := fixture(t)
+	srv, addr := startShedServer(t, 1)
+	reg := srv.Telemetry()
+	ctx := context.Background()
+
+	// The blocker lives on its own connection and keeps the budget full for
+	// the whole test.
+	cBlock := dialDB(t, addr, "CI")
+	blocker := cBlock.StartQuery()
+	if _, err := blocker.HeaderBytes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Cancel(wire.CancelAbandon)
+
+	c := dialDB(t, addr, "CI")
+	shedAttempt := func(s, d graph.NodeID) {
+		t.Helper()
+		qs := c.StartQuery()
+		_, err := queryScheme(ctx, qs, "CI", s, d, g)
+		if !errors.Is(err, client.ErrBusy) {
+			t.Fatalf("query (%d,%d) against a full daemon: err = %v, want ErrBusy", s, d, err)
+		}
+		qs.Cancel(wire.CancelAbandon) // settled by the Busy; no-op
+		// Sequencing barrier: server frames on one connection are processed
+		// in order, so once the stats reply arrives every frame of the shed
+		// attempt — including the daemon's late "no open query" error for
+		// the request that followed BeginQuery — has been fully written and
+		// counted.
+		if _, err := c.ServerStats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warmup burns query ID 1 on this connection so every measured attempt
+	// uses a same-width (single-digit) ID: the daemon's "no open query %d"
+	// error text embeds the ID, and a differing digit count would move the
+	// byte counters differently for reasons that have nothing to do with
+	// the endpoints.
+	shedAttempt(3, 4)
+
+	queries := [][2]graph.NodeID{
+		{0, graph.NodeID(g.NumNodes() - 1)}, // far apart
+		{1, 2},                              // adjacent
+		{5, 5},                              // degenerate s == d
+	}
+	deltas := make([]string, len(queries))
+	for i, q := range queries {
+		before := reg.Snapshot()
+		shedAttempt(q[0], q[1])
+		deltas[i] = telemetry.Delta(before, reg.Snapshot())
+	}
+
+	for _, want := range []string{"privsp_shed_total", "privsp_busy_sent_total"} {
+		if !strings.Contains(deltas[0], want) {
+			t.Errorf("shed delta does not move %s:\n%s", want, deltas[0])
+		}
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] != deltas[0] {
+			t.Errorf("shed attempts %v and %v produced different metric deltas — a side channel:\n--- %v ---\n%s\n--- %v ---\n%s",
+				queries[0], queries[i], queries[0], deltas[0], queries[i], deltas[i])
+		}
+	}
+}

@@ -15,6 +15,8 @@ type serverMetrics struct {
 	framesWritten *telemetry.Counter
 	bytesRead     *telemetry.Counter
 	bytesWritten  *telemetry.Counter
+	shed          *telemetry.Counter
+	busySent      *telemetry.Counter
 }
 
 // initTelemetry registers the daemon-wide series. Everything exported here
@@ -35,6 +37,13 @@ func (s *Server) initTelemetry() {
 			"wire bytes received from clients, including frame headers"),
 		bytesWritten: reg.Counter("privsp_server_bytes_written_total",
 			"wire bytes sent to clients, including frame headers"),
+		// Overload accounting is daemon-wide, not per-database: the shed
+		// decision happens before any query content (including the target
+		// database's workload) could influence it.
+		shed: reg.Counter("privsp_shed_total",
+			"queries shed at admission because the in-flight budget was full"),
+		busySent: reg.Counter("privsp_busy_sent_total",
+			"Busy frames sent to shed clients (shed minus dead-connection write failures)"),
 	}
 }
 

@@ -104,6 +104,29 @@ func FuzzDecodeShareFetch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBusy fuzzes the Busy payload decoder — the v5 overload-shed
+// reply a client parses from an untrusted server. Accepted payloads must be
+// canonical and carry exactly one u32 hint.
+func FuzzDecodeBusy(f *testing.F) {
+	f.Add(Busy{RetryAfterMillis: 0}.Encode())
+	f.Add(Busy{RetryAfterMillis: 25}.Encode())
+	f.Add(Busy{RetryAfterMillis: 0xFFFFFFFF}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 2, 3, 4, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeBusy(data)
+		if err != nil {
+			return
+		}
+		re := m.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
 // FuzzDecodeCancel fuzzes the Cancel payload decoder — the new v3 message a
 // hostile client sends to abort queries. Accepted payloads must be
 // canonical and carry exactly one reason byte.

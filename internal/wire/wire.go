@@ -47,7 +47,10 @@ import (
 // Version 4 added capability flags to Welcome and the FetchShare message:
 // a client-supplied XOR PIR selector share answered without ever
 // reconstructing a page, the building block of two-server fleet mode.
-const ProtocolVersion = 4
+// Version 5 added the Busy message: an overloaded daemon sheds a query at
+// admission — before any query content is read — and replies with a
+// retry-after hint instead of opening the session.
+const ProtocolVersion = 5
 
 // DefaultMaxFrame bounds a single frame's payload; it must accommodate the
 // largest header file and the largest batched page fetch.
@@ -75,6 +78,7 @@ const (
 	MsgStats                         // S→C: the statistics
 	MsgCancel                        // C→S: abandon this frame's query (no reply)
 	MsgFetchShare                    // C→S: XOR PIR selector shares; answered by MsgPages
+	MsgBusy                          // S→C: query shed at admission; retry after the hinted delay
 )
 
 // String names a message type for diagnostics.
@@ -110,6 +114,8 @@ func (t MsgType) String() string {
 		return "Cancel"
 	case MsgFetchShare:
 		return "FetchShare"
+	case MsgBusy:
+		return "Busy"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -591,6 +597,29 @@ func DecodeCancel(b []byte) (Cancel, error) {
 	d := pagefile.NewDec(b)
 	m := Cancel{Reason: d.U8()}
 	return m, decErr("Cancel", d)
+}
+
+// Busy answers a BeginQuery the daemon shed under overload: the query was
+// never opened, no query content was read, and the client should retry the
+// whole query — with fresh PIR randomness — after roughly the hinted delay.
+// The hint depends only on load, never on anything query-specific, so
+// shedding is as content-blind as serving.
+type Busy struct {
+	RetryAfterMillis uint32
+}
+
+// Encode serializes the message payload.
+func (m Busy) Encode() []byte {
+	e := pagefile.NewEnc(4)
+	e.U32(m.RetryAfterMillis)
+	return e.Bytes()
+}
+
+// DecodeBusy reverses Busy.Encode.
+func DecodeBusy(b []byte) (Busy, error) {
+	d := pagefile.NewDec(b)
+	m := Busy{RetryAfterMillis: d.U32()}
+	return m, decErr("Busy", d)
 }
 
 // DBStats are the per-database serving counters and worker-pool gauges.

@@ -78,6 +78,25 @@ func TestCancelRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBusyRoundTrip(t *testing.T) {
+	for _, hint := range []uint32{0, 25, 1000, 0xFFFFFFFF} {
+		m := Busy{RetryAfterMillis: hint}
+		got, err := DecodeBusy(m.Encode())
+		if err != nil || got != m {
+			t.Errorf("hint %d: got %+v, %v", hint, got, err)
+		}
+	}
+	if _, err := DecodeBusy(nil); err == nil {
+		t.Error("empty Busy accepted")
+	}
+	if _, err := DecodeBusy([]byte{1, 2, 3}); err == nil {
+		t.Error("short Busy accepted")
+	}
+	if _, err := DecodeBusy([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("oversized Busy accepted")
+	}
+}
+
 func TestHelloRoundTrip(t *testing.T) {
 	m := Hello{Version: ProtocolVersion, Database: "CI"}
 	got, err := DecodeHello(m.Encode())

@@ -113,21 +113,32 @@ func (fs *FleetServer) ShortestPath(ctx context.Context, src, dst Point, opts ..
 		ctx = context.Background()
 	}
 	o := applyOptions(opts)
-	qs := fs.f.StartQuery()
-	if err := qs.Err(); err != nil {
-		return nil, err
-	}
-	res, err := queryScheme(ctx, fs.scheme, qs, src, dst)
+	// A replica shedding under overload yields ErrBusy, which does not trip
+	// its breaker; the whole query is retried with fresh selector shares —
+	// splitShares redraws from crypto/rand every attempt (see retryBusy).
+	var res *Result
+	err := retryBusy(ctx, func() error {
+		qs := fs.f.StartQuery()
+		if err := qs.Err(); err != nil {
+			return err
+		}
+		var qerr error
+		res, qerr = queryScheme(ctx, fs.scheme, qs, src, dst)
+		if qerr != nil {
+			qs.Cancel(cancelReason(ctx, qerr))
+			return qerr
+		}
+		trace, terr := qs.End(ctx)
+		if terr != nil {
+			qs.Cancel(cancelReason(ctx, terr))
+			return terr
+		}
+		o.deliver(res, trace)
+		return nil
+	})
 	if err != nil {
-		qs.Cancel(cancelReason(ctx, err))
 		return nil, err
 	}
-	trace, terr := qs.End(ctx)
-	if terr != nil {
-		qs.Cancel(cancelReason(ctx, terr))
-		return nil, terr
-	}
-	o.deliver(res, trace)
 	return res, nil
 }
 

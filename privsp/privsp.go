@@ -592,7 +592,18 @@ func DialDatabaseContext(ctx context.Context, addr, database string) (*RemoteSer
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c, err := client.DialContext(ctx, addr, client.Options{Database: database})
+	// Transient connect failures (a restarting daemon, a full accept
+	// backlog) get a couple of jittered retries; daemon-side rejections and
+	// context aborts fail immediately (see dialRetryable).
+	var c *client.Client
+	err := dialRetry.Do(ctx, dialRetryable, func(attempt int) error {
+		if attempt > 0 {
+			client.CountDialRetry()
+		}
+		var derr error
+		c, derr = client.DialContext(ctx, addr, client.Options{Database: database})
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -631,25 +642,36 @@ func (r *RemoteServer) ShortestPath(ctx context.Context, src, dst Point, opts ..
 	if r.scheme == "" {
 		return nil, fmt.Errorf("privsp: connection is not bound to a database; use DialDatabase")
 	}
-	qs := r.c.StartQuery()
-	res, err := queryScheme(ctx, r.scheme, qs, src, dst)
+	// A query the daemon sheds with Busy is retried whole: each attempt is
+	// a fresh query session with freshly drawn PIR randomness, never a
+	// resent round (see retryBusy).
+	var res *Result
+	err := retryBusy(ctx, func() error {
+		qs := r.c.StartQuery()
+		var qerr error
+		res, qerr = queryScheme(ctx, r.scheme, qs, src, dst)
+		if qerr != nil {
+			// Settle the query session. A context abort is a deliberate
+			// cancellation the daemon records (the partial trace is what the
+			// adversary saw) and counts; any other failure abandons the query
+			// and the daemon discards it. The connection stays usable either
+			// way.
+			qs.Cancel(cancelReason(ctx, qerr))
+			return qerr
+		}
+		// Complete the session; the returned trace is the daemon's
+		// adversarial view of this query.
+		trace, terr := qs.End(ctx)
+		if terr != nil {
+			qs.Cancel(cancelReason(ctx, terr))
+			return terr
+		}
+		o.deliver(res, trace)
+		return nil
+	})
 	if err != nil {
-		// Settle the query session. A context abort is a deliberate
-		// cancellation the daemon records (the partial trace is what the
-		// adversary saw) and counts; any other failure abandons the query
-		// and the daemon discards it. The connection stays usable either
-		// way.
-		qs.Cancel(cancelReason(ctx, err))
 		return nil, err
 	}
-	// Complete the session; the returned trace is the daemon's adversarial
-	// view of this query.
-	trace, terr := qs.End(ctx)
-	if terr != nil {
-		qs.Cancel(cancelReason(ctx, terr))
-		return nil, terr
-	}
-	o.deliver(res, trace)
 	return res, nil
 }
 

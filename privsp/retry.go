@@ -1,0 +1,59 @@
+package privsp
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/retrier"
+)
+
+// ErrBusy is matched by errors.Is when a daemon shed a query at admission
+// under overload and every retry was shed too. The concrete error is a
+// *BusyError carrying the server's last retry-after hint. The connection
+// is healthy — the daemon protected itself; back off and try again.
+var ErrBusy = client.ErrBusy
+
+// BusyError is the typed form of a shed query.
+type BusyError = client.BusyError
+
+// dialRetry bounds connect/handshake retries: transient dial failures — a
+// daemon restarting, a listener backlog blip — get a couple of jittered
+// retries; rejections and caller aborts do not.
+var dialRetry = retrier.Policy{MaxAttempts: 3, Base: 50 * time.Millisecond, Max: time.Second}
+
+// dialRetryable: a daemon that ANSWERED and rejected (wrong database name,
+// version skew) will reject again — don't retry. A dial the caller's
+// context (or the default dial budget) aborted is a decision, not a blip.
+func dialRetryable(err error) bool {
+	return !client.IsServerReject(err) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// busyRetry paces whole-query retries after a Busy shed. The server's
+// retry-after hint is the base delay; full jitter on top decorrelates the
+// herd of clients a shed burst created.
+var busyRetry = retrier.Policy{MaxAttempts: 4, Base: 25 * time.Millisecond, Max: 2 * time.Second}
+
+// retryBusy runs fn — one complete query attempt — and, when the daemon
+// sheds it with Busy, retries the WHOLE query after the server's hint plus
+// jitter. Each attempt redraws all PIR randomness from scratch (selector
+// shares come from crypto/rand inside the attempt), so a retry is
+// indistinguishable from a brand-new query and no recorded round is ever
+// resent. Any non-Busy error, and the final Busy after exhausting the
+// budget, surface unchanged.
+func retryBusy(ctx context.Context, fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		var be *client.BusyError
+		if err == nil || !errors.As(err, &be) || attempt+1 >= busyRetry.MaxAttempts {
+			return err
+		}
+		client.CountQueryRetry()
+		if serr := retrier.Sleep(ctx, be.RetryAfter+busyRetry.Backoff(attempt)); serr != nil {
+			return err
+		}
+	}
+}
